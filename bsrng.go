@@ -1,0 +1,91 @@
+// Package bsrng is a high-throughput parallel bitsliced pseudo-random
+// number generator library — a from-scratch Go reproduction of
+// "BSRNG: A High Throughput Parallel BitSliced Approach for Random Number
+// Generators" (ICPP Workshops 2020).
+//
+// The library generates cryptographically-grade pseudo-random bytes with
+// bitsliced (column-major) implementations of the MICKEY 2.0 and Grain v1
+// stream ciphers and AES-128 in counter mode: one 64-bit word carries the
+// same state bit of 64 independent cipher instances, so every XOR/AND
+// advances 64 generators at once and the LFSR shift-and-mask work
+// disappears into register renaming.
+//
+// Quick start:
+//
+//	g, err := bsrng.New(bsrng.MICKEY, 42)
+//	if err != nil { ... }
+//	buf := make([]byte, 1<<20)
+//	g.Read(buf) // deterministic, seeded, NIST SP 800-22-clean bytes
+//
+// For multi-core throughput use Stream (a deterministic worker pool) or
+// Fill (a one-shot parallel fill):
+//
+//	s, err := bsrng.NewStream(bsrng.GRAIN, 42, bsrng.StreamConfig{})
+//	defer s.Close()
+//	s.Read(buf)
+//
+// The repository also contains the paper's full evaluation apparatus: the
+// naive baselines, the cuRAND generator family, an NIST SP 800-22
+// implementation, and the GPU roofline model that regenerates the paper's
+// tables and figures (see cmd/experiments and EXPERIMENTS.md).
+package bsrng
+
+import "repro/internal/core"
+
+// Algorithm selects the underlying bitsliced CSPRNG.
+type Algorithm = core.Algorithm
+
+// The supported algorithms.
+const (
+	// MICKEY is the bitsliced MICKEY 2.0 engine — the paper's headline
+	// generator.
+	MICKEY = core.MICKEY
+	// GRAIN is the bitsliced Grain v1 engine — the fastest engine on CPU.
+	GRAIN = core.GRAIN
+	// AESCTR is the bitsliced AES-128 counter-mode engine.
+	AESCTR = core.AESCTR
+	// TRIVIUM is the bitsliced Trivium engine (extension beyond the
+	// paper's three ciphers; fastest in this repository).
+	TRIVIUM = core.TRIVIUM
+)
+
+// Algorithms lists all supported algorithms.
+var Algorithms = core.Algorithms
+
+// ParseAlgorithm maps "mickey", "grain" or "aes-ctr" to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// Generator is a deterministic single-engine generator (64 cipher lanes
+// behind an io.Reader).
+type Generator = core.Generator
+
+// New builds a seeded Generator.
+func New(alg Algorithm, seed uint64) (*Generator, error) {
+	return core.NewGenerator(alg, seed)
+}
+
+// Stream is the multi-core generator: one bitsliced engine per worker,
+// deterministic output for a fixed configuration.
+type Stream = core.Stream
+
+// StreamConfig tunes the Stream (zero values = all CPUs, 64 KiB staging).
+type StreamConfig = core.StreamConfig
+
+// NewStream starts a Stream worker pool; call Close when done.
+func NewStream(alg Algorithm, seed uint64, cfg StreamConfig) (*Stream, error) {
+	return core.NewStream(alg, seed, cfg)
+}
+
+// Fill writes len(dst) deterministic pseudo-random bytes using the given
+// number of workers (0 = all CPUs).
+func Fill(alg Algorithm, seed uint64, workers int, dst []byte) error {
+	return core.Fill(alg, seed, workers, dst)
+}
+
+// Source64 adapts a Generator to math/rand.Source64.
+type Source64 = core.Source64
+
+// NewSource64 builds the math/rand adapter.
+func NewSource64(alg Algorithm, seed uint64) (*Source64, error) {
+	return core.NewSource64(alg, seed)
+}

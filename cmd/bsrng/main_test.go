@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	bsrng "repro"
+)
+
+func TestRunRawMatchesLibrary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "grain", 5, 1000, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := bsrng.New(bsrng.GRAIN, 5)
+	want := make([]byte, 1000)
+	g.Read(want)
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatal("CLI output diverges from library output")
+	}
+}
+
+func TestRunHex(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "mickey", 1, 16, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if len(s) != 33 || s[32] != '\n' { // 32 hex chars + newline
+		t.Fatalf("unexpected hex output %q", s)
+	}
+	if _, err := hex.DecodeString(s[:32]); err != nil {
+		t.Fatalf("not hex: %v", err)
+	}
+}
+
+func TestRunParallelStreamDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, "trivium", 9, 100000, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "trivium", 9, 100000, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("parallel CLI output is not deterministic")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "nope", 1, 10, 1, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(&out, "mickey", 1, -1, 1, false); err == nil {
+		t.Error("negative byte count accepted")
+	}
+}

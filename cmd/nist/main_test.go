@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	bsrng "repro"
+)
+
+func TestRunGeneratorReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "trivium", "", 8, 20000, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"NIST SP 800-22 battery", "Frequency", "Runs", "Proportion"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(s, "LinearComplexity") {
+		t.Error("-fast did not skip linear complexity")
+	}
+	// Good generator output should not fail wholesale.
+	if strings.Count(s, "FAIL") > 2 {
+		t.Errorf("too many failures in report:\n%s", s)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	// Write generator output to a file and test it via the -file path.
+	g, _ := bsrng.New(bsrng.GRAIN, 3)
+	data := make([]byte, 4*20000/8)
+	g.Read(data)
+	path := filepath.Join(t.TempDir(), "bits.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, "", path, 4, 20000, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), path) {
+		t.Error("report does not name the source file")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "mickey", "", 0, 1000, 1, false); err == nil {
+		t.Error("zero streams accepted")
+	}
+	if err := run(&out, "mickey", "", 1, 10, 1, false); err == nil {
+		t.Error("tiny stream accepted")
+	}
+	if err := run(&out, "nope", "", 1, 1000, 1, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(&out, "", "/nonexistent/file", 1, 1000, 1, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	// File shorter than requested bits.
+	path := filepath.Join(t.TempDir(), "short.bin")
+	os.WriteFile(path, make([]byte, 10), 0o644)
+	if err := run(&out, "", path, 1, 1000, 1, false); err == nil {
+		t.Error("short file accepted")
+	}
+}

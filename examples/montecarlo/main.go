@@ -1,0 +1,35 @@
+// Monte Carlo: estimate π by dart-throwing, driven by the bitsliced
+// generators through the math/rand adapter — the stochastic-simulation
+// workload the paper's introduction motivates (Monte Carlo simulation is
+// its canonical PRNG consumer).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	bsrng "repro"
+)
+
+func main() {
+	const darts = 2_000_000
+	for _, alg := range bsrng.Algorithms {
+		src, err := bsrng.NewSource64(alg, 2024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := rand.New(src)
+		in := 0
+		for i := 0; i < darts; i++ {
+			x, y := r.Float64(), r.Float64()
+			if x*x+y*y <= 1 {
+				in++
+			}
+		}
+		est := 4 * float64(in) / darts
+		fmt.Printf("%-8s π ≈ %.5f (error %+.5f, %d darts)\n",
+			alg, est, est-math.Pi, darts)
+	}
+}

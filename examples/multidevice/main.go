@@ -1,0 +1,61 @@
+// Multidevice: the paper's §5.4 scenario twice over — (a) real multi-core
+// scaling of the bitsliced engines measured on this host, and (b) the
+// modeled multi-GPU aggregate of the paper's setup (2x GTX 1080 Ti at
+// 1.92x, declining at 4 and 8).
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	bsrng "repro"
+	"repro/internal/device"
+)
+
+func main() {
+	fmt.Println("(a) measured multi-core scaling of bitsliced Grain on this host")
+	fmt.Printf("%-10s %-12s %s\n", "workers", "Gbit/s", "speedup")
+	buf := make([]byte, 8<<20)
+	base := 0.0
+	seen := map[int]bool{}
+	for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
+		if w > runtime.NumCPU() || seen[w] {
+			continue
+		}
+		seen[w] = true
+		gbps := measure(bsrng.GRAIN, w, buf)
+		if base == 0 {
+			base = gbps
+		}
+		fmt.Printf("%-10d %-12.2f %.2fx\n", w, gbps, gbps/base)
+	}
+
+	fmt.Println()
+	fmt.Println("(b) modeled multi-GPU aggregate (paper §5.4)")
+	mickey, err := device.ProfileByName(device.CalibratedProfiles, "MICKEY 2.0 (bitsliced)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, _ := device.DeviceByName("GTX 1080 Ti")
+	fmt.Print(device.FormatScaling(mickey, d, []int{1, 2, 4, 8}))
+}
+
+func measure(alg bsrng.Algorithm, workers int, buf []byte) float64 {
+	s, err := bsrng.NewStream(alg, 1, bsrng.StreamConfig{Workers: workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	// Warm up the pool, then time.
+	s.Read(buf[:1<<20])
+	start := time.Now()
+	rounds := 0
+	for time.Since(start) < 400*time.Millisecond {
+		s.Read(buf)
+		rounds++
+	}
+	el := time.Since(start).Seconds()
+	return float64(rounds*len(buf)) * 8 / el / 1e9
+}

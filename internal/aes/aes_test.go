@@ -1,0 +1,410 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS-197 Appendix C known-answer vectors.
+func TestFIPS197Vectors(t *testing.T) {
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	cases := []struct{ key, ct string }{
+		{"000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a"},
+		{"000102030405060708090a0b0c0d0e0f1011121314151617", "dda97ca4864cdfe06eaf70a0ec0d7191"},
+		{"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f", "8ea2b7ca516745bfeafc49904b496089"},
+	}
+	for _, tc := range cases {
+		key, _ := hex.DecodeString(tc.key)
+		want, _ := hex.DecodeString(tc.ct)
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		c.Encrypt(got, pt)
+		if !bytes.Equal(got, want) {
+			t.Errorf("key %s: got %x want %x", tc.key, got, want)
+		}
+	}
+}
+
+func TestMatchesStdlibAllKeySizes(t *testing.T) {
+	f := func(seed int64, size8 uint8) bool {
+		sizes := []int{16, 24, 32}
+		size := sizes[int(size8)%3]
+		rng := rand.New(rand.NewSource(seed))
+		key := make([]byte, size)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		ours, err := NewCipher(key)
+		if err != nil {
+			return false
+		}
+		std, err := stdaes.NewCipher(key)
+		if err != nil {
+			return false
+		}
+		a := make([]byte, 16)
+		b := make([]byte, 16)
+		ours.Encrypt(a, pt)
+		std.Encrypt(b, pt)
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCipherRejectsBadKey(t *testing.T) {
+	for _, n := range []int{0, 15, 17, 33} {
+		if _, err := NewCipher(make([]byte, n)); err == nil {
+			t.Errorf("key size %d accepted", n)
+		}
+	}
+}
+
+func TestSboxGeneration(t *testing.T) {
+	// Spot values from FIPS-197 Figure 7.
+	want := map[byte]byte{0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16, 0xc9: 0xdd}
+	for in, out := range want {
+		if sbox[in] != out {
+			t.Errorf("sbox[%#x] = %#x, want %#x", in, sbox[in], out)
+		}
+	}
+	// S-box must be a permutation.
+	var seen [256]bool
+	for _, v := range sbox {
+		if seen[v] {
+			t.Fatal("sbox is not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestGFInverse(t *testing.T) {
+	for x := 1; x < 256; x++ {
+		if mulGF(byte(x), invGF(byte(x))) != 1 {
+			t.Fatalf("invGF(%#x) wrong", x)
+		}
+	}
+	if invGF(0) != 0 {
+		t.Fatal("invGF(0) must be 0")
+	}
+}
+
+// Plane-form field ops must agree with scalar GF math on random lane data.
+func TestGfMulPlanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	rng.Read(a)
+	rng.Read(b)
+	ap := packBytesPlanes(a)
+	bp := packBytesPlanes(b)
+	var dp [8]uint64
+	gfMulP(dp[:], ap[:], bp[:])
+	for l := 0; l < 64; l++ {
+		if got := unpackBytePlane(&dp, l); got != mulGF(a[l], b[l]) {
+			t.Fatalf("lane %d: %#x want %#x", l, got, mulGF(a[l], b[l]))
+		}
+	}
+}
+
+func TestGfSquarePlanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := make([]byte, 64)
+	rng.Read(a)
+	ap := packBytesPlanes(a)
+	var dp [8]uint64
+	gfSquareP(dp[:], ap[:])
+	for l := 0; l < 64; l++ {
+		if got := unpackBytePlane(&dp, l); got != mulGF(a[l], a[l]) {
+			t.Fatalf("lane %d square wrong", l)
+		}
+	}
+}
+
+func TestSboxPlanes(t *testing.T) {
+	// All 256 inputs across four batches of 64 lanes.
+	for base := 0; base < 256; base += 64 {
+		a := make([]byte, 64)
+		for i := range a {
+			a[i] = byte(base + i)
+		}
+		ap := packBytesPlanes(a)
+		sboxP(ap[:])
+		for l := 0; l < 64; l++ {
+			if got := unpackBytePlane(&ap, l); got != sbox[a[l]] {
+				t.Fatalf("sboxP(%#x) = %#x, want %#x", a[l], got, sbox[a[l]])
+			}
+		}
+	}
+}
+
+func TestXtimePlanes(t *testing.T) {
+	a := make([]byte, 64)
+	for i := range a {
+		a[i] = byte(i * 7)
+	}
+	ap := packBytesPlanes(a)
+	var dp [8]uint64
+	xtimeP(dp[:], ap[:])
+	for l := 0; l < 64; l++ {
+		if got := unpackBytePlane(&dp, l); got != mulGF(a[l], 2) {
+			t.Fatalf("xtimeP(%#x) wrong", a[l])
+		}
+	}
+}
+
+func packBytesPlanes(vals []byte) [8]uint64 {
+	var p [8]uint64
+	for l, v := range vals {
+		for k := 0; k < 8; k++ {
+			if v&(1<<uint(k)) != 0 {
+				p[k] |= 1 << uint(l)
+			}
+		}
+	}
+	return p
+}
+
+func unpackBytePlane(p *[8]uint64, lane int) byte {
+	var v byte
+	for k := 0; k < 8; k++ {
+		v |= byte((p[k]>>uint(lane))&1) << uint(k)
+	}
+	return v
+}
+
+// The bitsliced cipher must agree with 64 scalar encryptions under 64
+// distinct keys.
+func TestSlicedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	keys := make([][]byte, 64)
+	blocks := make([][16]byte, 64)
+	for l := range keys {
+		keys[l] = make([]byte, 16)
+		rng.Read(keys[l])
+		rng.Read(blocks[l][:])
+	}
+	sl, err := NewSliced(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := PackBlocks(blocks)
+	sl.EncryptBlocks(&st)
+	out := UnpackBlocks(&st, 64)
+	for l := 0; l < 64; l++ {
+		c, _ := NewCipher(keys[l])
+		want := make([]byte, 16)
+		c.Encrypt(want, blocks[l][:])
+		if !bytes.Equal(out[l][:], want) {
+			t.Fatalf("lane %d: sliced %x scalar %x", l, out[l], want)
+		}
+	}
+}
+
+func TestSlicedPartialLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	keys := make([][]byte, 3)
+	blocks := make([][16]byte, 3)
+	for l := range keys {
+		keys[l] = make([]byte, 16)
+		rng.Read(keys[l])
+		rng.Read(blocks[l][:])
+	}
+	sl, err := NewSliced(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := PackBlocks(blocks)
+	sl.EncryptBlocks(&st)
+	out := UnpackBlocks(&st, 3)
+	for l := 0; l < 3; l++ {
+		c, _ := NewCipher(keys[l])
+		want := make([]byte, 16)
+		c.Encrypt(want, blocks[l][:])
+		if !bytes.Equal(out[l][:], want) {
+			t.Fatalf("lane %d mismatch", l)
+		}
+	}
+}
+
+func TestSlicedValidation(t *testing.T) {
+	if _, err := NewSliced(nil); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	if _, err := NewSliced(make([][]byte, 65)); err == nil {
+		t.Error("65 lanes accepted")
+	}
+	if _, err := NewSliced([][]byte{make([]byte, 15)}); err == nil {
+		t.Error("bad key size accepted")
+	}
+}
+
+// Scalar CTR: Read must be chunking-invariant and match block-by-block
+// encryption of nonce‖counter.
+func TestCTRMatchesManualBlocks(t *testing.T) {
+	key := make([]byte, 16)
+	nonce := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := range key {
+		key[i] = byte(i)
+	}
+	g, err := NewCTR(key, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 48)
+	g.Read(got)
+	c, _ := NewCipher(key)
+	want := make([]byte, 48)
+	for blk := 0; blk < 3; blk++ {
+		in := make([]byte, 16)
+		copy(in, nonce)
+		in[15] = byte(blk)
+		c.Encrypt(want[16*blk:], in)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ctr stream mismatch\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestCTRChunkingInvariance(t *testing.T) {
+	key := make([]byte, 16)
+	nonce := make([]byte, 8)
+	a, _ := NewCTR(key, nonce)
+	b, _ := NewCTR(key, nonce)
+	whole := make([]byte, 100)
+	a.Read(whole)
+	pieces := make([]byte, 100)
+	step := 1
+	for off := 0; off < 100; {
+		n := step
+		if off+n > 100 {
+			n = 100 - off
+		}
+		b.Read(pieces[off : off+n])
+		off += n
+		step = step*2 + 1
+	}
+	if !bytes.Equal(whole, pieces) {
+		t.Fatal("CTR output depends on read chunking")
+	}
+}
+
+func TestCTRValidation(t *testing.T) {
+	if _, err := NewCTR(make([]byte, 15), make([]byte, 8)); err == nil {
+		t.Error("bad key accepted")
+	}
+	if _, err := NewCTR(make([]byte, 16), make([]byte, 7)); err == nil {
+		t.Error("bad nonce accepted")
+	}
+}
+
+// The bitsliced CTR generator must reproduce 64 scalar CTR streams.
+func TestSlicedCTRMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	keys := make([][]byte, 64)
+	nonces := make([][]byte, 64)
+	for l := range keys {
+		keys[l] = make([]byte, 16)
+		nonces[l] = make([]byte, 8)
+		rng.Read(keys[l])
+		rng.Read(nonces[l])
+	}
+	g, err := NewSlicedCTR(keys, nonces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 3
+	got := make([]byte, batches*BatchSize)
+	for i := 0; i < batches; i++ {
+		g.NextBatch(got[i*BatchSize:])
+	}
+	for l := 0; l < 64; l++ {
+		ref, _ := NewCTR(keys[l], nonces[l])
+		want := make([]byte, batches*16)
+		ref.Read(want)
+		for i := 0; i < batches; i++ {
+			gotBlk := got[i*BatchSize+16*l : i*BatchSize+16*l+16]
+			if !bytes.Equal(gotBlk, want[16*i:16*i+16]) {
+				t.Fatalf("lane %d batch %d mismatch", l, i)
+			}
+		}
+	}
+}
+
+func TestSlicedCTRValidation(t *testing.T) {
+	keys := [][]byte{make([]byte, 16)}
+	if _, err := NewSlicedCTR(keys, nil); err == nil {
+		t.Error("nonce count mismatch accepted")
+	}
+	if _, err := NewSlicedCTR(keys, [][]byte{make([]byte, 7)}); err == nil {
+		t.Error("bad nonce accepted")
+	}
+}
+
+func TestPackUnpackBlocksRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	blocks := make([][16]byte, 64)
+	for l := range blocks {
+		rng.Read(blocks[l][:])
+	}
+	st := PackBlocks(blocks)
+	back := UnpackBlocks(&st, 64)
+	for l := range blocks {
+		if blocks[l] != back[l] {
+			t.Fatalf("lane %d round trip failed", l)
+		}
+	}
+}
+
+func BenchmarkScalarEncrypt(b *testing.B) {
+	key := make([]byte, 16)
+	c, _ := NewCipher(key)
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf, buf)
+	}
+}
+
+func BenchmarkSlicedEncrypt64Lanes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([][]byte, 64)
+	for l := range keys {
+		keys[l] = make([]byte, 16)
+		rng.Read(keys[l])
+	}
+	sl, _ := NewSliced(keys)
+	var st [128]uint64
+	b.SetBytes(64 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sl.EncryptBlocks(&st)
+	}
+}
+
+func BenchmarkSlicedCTR(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([][]byte, 64)
+	nonces := make([][]byte, 64)
+	for l := range keys {
+		keys[l] = make([]byte, 16)
+		nonces[l] = make([]byte, 8)
+		rng.Read(keys[l])
+		rng.Read(nonces[l])
+	}
+	g, _ := NewSlicedCTR(keys, nonces)
+	dst := make([]byte, BatchSize)
+	b.SetBytes(BatchSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NextBatch(dst)
+	}
+}

@@ -1,0 +1,73 @@
+// Package aes implements AES-128/192/256 (FIPS-197) from scratch: a
+// conventional scalar implementation (the paper's row-major baseline) and
+// a bitsliced 64-lane AES-128-CTR engine (paper §2.3.2/Fig. 3 uses
+// AES-CTR as the block-cipher CPRNG; §4 bitslices it).
+//
+// All byte-level tables (S-box, squaring matrix, affine transform) are
+// generated at init from first-principles GF(2^8) arithmetic rather than
+// transcribed, and the scalar cipher is validated against both the
+// FIPS-197 known-answer vector and crypto/aes in the tests.
+package aes
+
+// mulGF multiplies two elements of GF(2^8) modulo the AES polynomial
+// x^8 + x^4 + x^3 + x + 1 (0x11B).
+func mulGF(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 == 1 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1B
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// invGF computes the multiplicative inverse in GF(2^8) by Fermat's little
+// theorem (x^254); invGF(0) = 0 as in the AES S-box definition.
+func invGF(x byte) byte {
+	// x^254 = x^2 · x^4 · x^8 · x^16 · x^32 · x^64 · x^128
+	var r byte = 1
+	sq := x
+	for i := 0; i < 7; i++ {
+		sq = mulGF(sq, sq) // x^2, x^4, ..., x^128
+		r = mulGF(r, sq)
+	}
+	return r
+}
+
+// affine applies the AES S-box affine transformation
+// b ⊕ rot1(b) ⊕ rot2(b) ⊕ rot3(b) ⊕ rot4(b) ⊕ 0x63.
+func affine(b byte) byte {
+	rot := func(x byte, n uint) byte { return x<<n | x>>(8-n) }
+	return b ^ rot(b, 1) ^ rot(b, 2) ^ rot(b, 3) ^ rot(b, 4) ^ 0x63
+}
+
+var (
+	sbox [256]byte
+	// sqMat[i] is x^(2i) mod the AES polynomial: the GF(2^8) squaring map
+	// as an 8x8 bit matrix, used by the bitsliced inversion circuit.
+	sqMat [8]byte
+	// rcon holds the key-schedule round constants.
+	rcon [15]byte
+)
+
+func init() {
+	for i := 0; i < 256; i++ {
+		sbox[i] = affine(invGF(byte(i)))
+	}
+	for i := 0; i < 8; i++ {
+		// x^(2i): square the basis element x^i.
+		e := byte(1) << uint(i)
+		sqMat[i] = mulGF(e, e)
+	}
+	c := byte(1)
+	for i := range rcon {
+		rcon[i] = c
+		c = mulGF(c, 2)
+	}
+}

@@ -1,0 +1,105 @@
+package aes
+
+// Bit-plane GF(2^8) arithmetic for the bitsliced S-box. A byte position is
+// eight uint64 planes (plane k = bit k of that byte across 64 lanes); all
+// functions below are straight-line word operations, so one call performs
+// 64 field operations at once.
+//
+// The S-box is computed structurally — Fermat inversion x^254 (four plane
+// multiplications plus free squarings) followed by the affine map — rather
+// than from a transcribed gate list; the scalar sbox table generated in
+// gf.go is the test oracle. This is the "complex bitsliced S-box" the
+// paper points to when explaining why AES trails the stream ciphers.
+
+// gfMulP multiplies two plane bytes: dst = a·b in GF(2^8). dst must not
+// alias a or b.
+func gfMulP(dst, a, b []uint64) {
+	var c [15]uint64
+	for i := 0; i < 8; i++ {
+		ai := a[i]
+		if true { // keep loop shape simple; the compiler unrolls well
+			c[i] ^= ai & b[0]
+			c[i+1] ^= ai & b[1]
+			c[i+2] ^= ai & b[2]
+			c[i+3] ^= ai & b[3]
+			c[i+4] ^= ai & b[4]
+			c[i+5] ^= ai & b[5]
+			c[i+6] ^= ai & b[6]
+			c[i+7] ^= ai & b[7]
+		}
+	}
+	// Reduce modulo x^8 + x^4 + x^3 + x + 1: x^k ≡ x^(k-4) + x^(k-5) +
+	// x^(k-7) + x^(k-8) for k ≥ 8, processed high to low so overflow terms
+	// cascade correctly.
+	for k := 14; k >= 8; k-- {
+		t := c[k]
+		c[k-4] ^= t
+		c[k-5] ^= t
+		c[k-7] ^= t
+		c[k-8] ^= t
+	}
+	copy(dst[:8], c[:8])
+}
+
+// gfSquareP squares a plane byte using the squaring bit-matrix generated
+// in gf.go (squaring is linear over GF(2), so it costs only XORs).
+func gfSquareP(dst, a []uint64) {
+	var out [8]uint64
+	for i := 0; i < 8; i++ {
+		m := sqMat[i]
+		for j := 0; j < 8; j++ {
+			if m&(1<<uint(j)) != 0 {
+				out[j] ^= a[i]
+			}
+		}
+	}
+	copy(dst[:8], out[:])
+}
+
+// gfInvP computes the field inverse x^254 (with 0 ↦ 0, matching the S-box
+// convention) via the addition chain
+// x^3 = x^2·x, x^15 = (x^3)^4·x^3, x^252 = (x^15)^16·(x^3)^4, x^254 = x^252·x^2.
+func gfInvP(dst, x []uint64) {
+	var x2, x3, x12, x15, x240, x252 [8]uint64
+	gfSquareP(x2[:], x)
+	gfMulP(x3[:], x2[:], x)
+	gfSquareP(x12[:], x3[:])
+	gfSquareP(x12[:], x12[:]) // x^12
+	gfMulP(x15[:], x12[:], x3[:])
+	gfSquareP(x240[:], x15[:])
+	gfSquareP(x240[:], x240[:])
+	gfSquareP(x240[:], x240[:])
+	gfSquareP(x240[:], x240[:]) // x^240
+	gfMulP(x252[:], x240[:], x12[:])
+	gfMulP(dst, x252[:], x2[:]) // x^254
+}
+
+// sboxP applies the AES S-box to one plane byte in place.
+func sboxP(st []uint64) {
+	var inv [8]uint64
+	gfInvP(inv[:], st)
+	// Affine: out = b ⊕ rotl1(b) ⊕ rotl2(b) ⊕ rotl3(b) ⊕ rotl4(b) ⊕ 0x63,
+	// where bit j of rotl_n(b) is bit (j-n) mod 8 of b.
+	const c = byte(0x63)
+	for j := 0; j < 8; j++ {
+		v := inv[j] ^ inv[(j+7)&7] ^ inv[(j+6)&7] ^ inv[(j+5)&7] ^ inv[(j+4)&7]
+		if c&(1<<uint(j)) != 0 {
+			v = ^v
+		}
+		st[j] = v
+	}
+}
+
+// xtimeP multiplies a plane byte by x (the MixColumns {02} multiple):
+// out[j] = a[j-1] ⊕ (a[7] where the AES polynomial 0x1B has bit j).
+func xtimeP(dst, a []uint64) {
+	hi := a[7]
+	dst[7] = a[6]
+	dst[6] = a[5]
+	dst[5] = a[4]
+	dst[4] = a[3] ^ hi
+	dst[3] = a[2] ^ hi
+	dst[2] = a[1]
+	dst[1] = a[0] ^ hi
+	dst[0] = hi
+}

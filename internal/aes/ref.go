@@ -1,0 +1,173 @@
+package aes
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// Cipher is the conventional scalar AES implementation — the row-major
+// baseline of the paper's comparison. It supports 128/192/256-bit keys.
+type Cipher struct {
+	rounds int
+	rk     [][16]byte // one 16-byte round key per AddRoundKey
+}
+
+// NewCipher builds an AES cipher for a 16, 24 or 32 byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	var rounds int
+	switch len(key) {
+	case 16:
+		rounds = 10
+	case 24:
+		rounds = 12
+	case 32:
+		rounds = 14
+	default:
+		return nil, fmt.Errorf("aes: invalid key size %d", len(key))
+	}
+	c := &Cipher{rounds: rounds}
+	c.expandKey(key)
+	return c, nil
+}
+
+// expandKey implements the FIPS-197 key schedule.
+func (c *Cipher) expandKey(key []byte) {
+	nk := len(key) / 4
+	nw := 4 * (c.rounds + 1)
+	w := make([]uint32, nw)
+	for i := 0; i < nk; i++ {
+		w[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	for i := nk; i < nw; i++ {
+		t := w[i-1]
+		switch {
+		case i%nk == 0:
+			t = subWord(rotWord(t)) ^ uint32(rcon[i/nk-1])<<24
+		case nk > 6 && i%nk == 4:
+			t = subWord(t)
+		}
+		w[i] = w[i-nk] ^ t
+	}
+	c.rk = make([][16]byte, c.rounds+1)
+	for r := range c.rk {
+		for j := 0; j < 4; j++ {
+			binary.BigEndian.PutUint32(c.rk[r][4*j:], w[4*r+j])
+		}
+	}
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xFF])<<16 |
+		uint32(sbox[w>>8&0xFF])<<8 | uint32(sbox[w&0xFF])
+}
+
+// Rounds returns the number of cipher rounds (10/12/14).
+func (c *Cipher) Rounds() int { return c.rounds }
+
+// Encrypt encrypts one 16-byte block (dst and src may overlap).
+//
+// The state is kept in the flat FIPS-197 input order: state[r + 4c] is
+// the byte in row r, column c.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: block too short")
+	}
+	var st [16]byte
+	copy(st[:], src[:16])
+	addRoundKey(&st, &c.rk[0])
+	for r := 1; r < c.rounds; r++ {
+		subBytes(&st)
+		shiftRows(&st)
+		mixColumns(&st)
+		addRoundKey(&st, &c.rk[r])
+	}
+	subBytes(&st)
+	shiftRows(&st)
+	addRoundKey(&st, &c.rk[c.rounds])
+	copy(dst[:16], st[:])
+}
+
+func addRoundKey(st, rk *[16]byte) {
+	for i := range st {
+		st[i] ^= rk[i]
+	}
+}
+
+func subBytes(st *[16]byte) {
+	for i := range st {
+		st[i] = sbox[st[i]]
+	}
+}
+
+// shiftRows rotates row r left by r positions; row r occupies state
+// indices r, r+4, r+8, r+12.
+func shiftRows(st *[16]byte) {
+	st[1], st[5], st[9], st[13] = st[5], st[9], st[13], st[1]
+	st[2], st[6], st[10], st[14] = st[10], st[14], st[2], st[6]
+	st[3], st[7], st[11], st[15] = st[15], st[3], st[7], st[11]
+}
+
+// xtime is the {02} multiple: one shift plus a conditional reduction.
+func xtime(a byte) byte {
+	return a<<1 ^ byte(int8(a)>>7)&0x1B
+}
+
+// mixColumns multiplies each column by the fixed MDS matrix.
+func mixColumns(st *[16]byte) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := st[4*c], st[4*c+1], st[4*c+2], st[4*c+3]
+		st[4*c] = xtime(a0) ^ xtime(a1) ^ a1 ^ a2 ^ a3
+		st[4*c+1] = a0 ^ xtime(a1) ^ xtime(a2) ^ a2 ^ a3
+		st[4*c+2] = a0 ^ a1 ^ xtime(a2) ^ xtime(a3) ^ a3
+		st[4*c+3] = xtime(a0) ^ a0 ^ a1 ^ a2 ^ xtime(a3)
+	}
+}
+
+// CTR is the scalar AES-CTR pseudo-random generator of paper Fig. 3: the
+// input block is nonce (8 bytes) || counter (8 bytes, big-endian), and
+// each encryption yields 16 bytes of output.
+type CTR struct {
+	c       *Cipher
+	nonce   [8]byte
+	counter uint64
+	buf     [16]byte
+	used    int
+}
+
+// NewCTR builds the generator from a key and an 8-byte nonce.
+func NewCTR(key []byte, nonce []byte) (*CTR, error) {
+	c, err := NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(nonce) != 8 {
+		return nil, fmt.Errorf("aes: nonce must be 8 bytes")
+	}
+	g := &CTR{c: c, used: 16}
+	copy(g.nonce[:], nonce)
+	return g, nil
+}
+
+// Read fills p with pseudo-random bytes; it never fails.
+func (g *CTR) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if g.used == 16 {
+			var in [16]byte
+			copy(in[:8], g.nonce[:])
+			binary.BigEndian.PutUint64(in[8:], g.counter)
+			g.counter++
+			g.c.Encrypt(g.buf[:], in[:])
+			g.used = 0
+		}
+		k := copy(p, g.buf[g.used:])
+		g.used += k
+		p = p[k:]
+	}
+	return n, nil
+}

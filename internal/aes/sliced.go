@@ -1,0 +1,218 @@
+package aes
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitslice"
+)
+
+// Sliced is the bitsliced 64-lane AES-128: the 128-bit state becomes 128
+// uint64 planes (plane 8b+k = bit k of state byte b across lanes), so one
+// EncryptBlocks call performs 64 independent block encryptions, each lane
+// under its own key.
+type Sliced struct {
+	rk    [][128]uint64 // 11 plane-form round keys
+	lanes int
+}
+
+// NewSliced expands one 16-byte AES-128 key per lane (1..64 lanes).
+func NewSliced(keys [][]byte) (*Sliced, error) {
+	lanes := len(keys)
+	if lanes == 0 || lanes > bitslice.W {
+		return nil, fmt.Errorf("aes: lane count %d out of range [1,64]", lanes)
+	}
+	s := &Sliced{rk: make([][128]uint64, 11), lanes: lanes}
+	los := make([][]uint64, 11) // per round: per-lane low words
+	his := make([][]uint64, 11)
+	for r := range los {
+		los[r] = make([]uint64, lanes)
+		his[r] = make([]uint64, lanes)
+	}
+	for l, key := range keys {
+		if len(key) != 16 {
+			return nil, fmt.Errorf("aes: lane %d key must be 16 bytes", l)
+		}
+		c, err := NewCipher(key)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r <= 10; r++ {
+			los[r][l] = binary.LittleEndian.Uint64(c.rk[r][0:8])
+			his[r][l] = binary.LittleEndian.Uint64(c.rk[r][8:16])
+		}
+	}
+	for r := 0; r <= 10; r++ {
+		lo := bitslice.PackWords(los[r])
+		hi := bitslice.PackWords(his[r])
+		copy(s.rk[r][0:64], lo[:])
+		copy(s.rk[r][64:128], hi[:])
+	}
+	return s, nil
+}
+
+// Lanes returns the number of active lanes.
+func (s *Sliced) Lanes() int { return s.lanes }
+
+// EncryptBlocks encrypts the 64 lane blocks held in plane form in st.
+func (s *Sliced) EncryptBlocks(st *[128]uint64) {
+	addRoundKeyP(st, &s.rk[0])
+	for r := 1; r < 10; r++ {
+		subBytesP(st)
+		shiftRowsP(st)
+		mixColumnsP(st)
+		addRoundKeyP(st, &s.rk[r])
+	}
+	subBytesP(st)
+	shiftRowsP(st)
+	addRoundKeyP(st, &s.rk[10])
+}
+
+func addRoundKeyP(st, rk *[128]uint64) {
+	for i := range st {
+		st[i] ^= rk[i]
+	}
+}
+
+func subBytesP(st *[128]uint64) {
+	for b := 0; b < 16; b++ {
+		sboxP(st[8*b : 8*b+8])
+	}
+}
+
+// shiftRowsP permutes whole byte groups: the byte at state index r+4c
+// moves in from index r+4((c+r) mod 4).
+func shiftRowsP(st *[128]uint64) {
+	var tmp [128]uint64
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			dst := r + 4*c
+			src := r + 4*((c+r)%4)
+			copy(tmp[8*dst:8*dst+8], st[8*src:8*src+8])
+		}
+	}
+	*st = tmp
+}
+
+func mixColumnsP(st *[128]uint64) {
+	var a [4][8]uint64
+	var xa [4][8]uint64
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			copy(a[r][:], st[8*(4*c+r):8*(4*c+r)+8])
+			xtimeP(xa[r][:], a[r][:])
+		}
+		for r := 0; r < 4; r++ {
+			// out_r = {02}a_r ⊕ {03}a_{r+1} ⊕ a_{r+2} ⊕ a_{r+3}
+			o := st[8*(4*c+r) : 8*(4*c+r)+8]
+			r1, r2, r3 := (r+1)&3, (r+2)&3, (r+3)&3
+			for k := 0; k < 8; k++ {
+				o[k] = xa[r][k] ^ xa[r1][k] ^ a[r1][k] ^ a[r2][k] ^ a[r3][k]
+			}
+		}
+	}
+}
+
+// PackBlocks converts 1..64 16-byte blocks (one per lane) into plane form.
+func PackBlocks(blocks [][16]byte) [128]uint64 {
+	if len(blocks) > bitslice.W {
+		panic("aes: more than 64 blocks")
+	}
+	los := make([]uint64, len(blocks))
+	his := make([]uint64, len(blocks))
+	for l := range blocks {
+		los[l] = binary.LittleEndian.Uint64(blocks[l][0:8])
+		his[l] = binary.LittleEndian.Uint64(blocks[l][8:16])
+	}
+	var st [128]uint64
+	lo := bitslice.PackWords(los)
+	hi := bitslice.PackWords(his)
+	copy(st[0:64], lo[:])
+	copy(st[64:128], hi[:])
+	return st
+}
+
+// UnpackBlocks converts plane form back to per-lane blocks.
+func UnpackBlocks(st *[128]uint64, lanes int) [][16]byte {
+	var lo, hi [64]uint64
+	copy(lo[:], st[0:64])
+	copy(hi[:], st[64:128])
+	loW := bitslice.UnpackWords(&lo, lanes)
+	hiW := bitslice.UnpackWords(&hi, lanes)
+	out := make([][16]byte, lanes)
+	for l := 0; l < lanes; l++ {
+		binary.LittleEndian.PutUint64(out[l][0:8], loW[l])
+		binary.LittleEndian.PutUint64(out[l][8:16], hiW[l])
+	}
+	return out
+}
+
+// SlicedCTR is the bitsliced AES-128-CTR generator of paper Fig. 3: every
+// lane runs its own nonce‖counter stream under its own key, and one batch
+// encrypts 64 blocks (1024 bytes) at once.
+type SlicedCTR struct {
+	aes    *Sliced
+	nonces []uint64 // per-lane nonce, little-endian image of the 8 nonce bytes
+	ctrs   []uint64 // per-lane counter value (encoded big-endian in the block)
+}
+
+// BatchSize is the output of one SlicedCTR batch: 64 lanes × 16 bytes.
+const BatchSize = 64 * BlockSize
+
+// NewSlicedCTR builds the generator; keys[L] and nonces[L] (8 bytes each)
+// belong to lane L. Lane counters start at zero.
+func NewSlicedCTR(keys [][]byte, nonces [][]byte) (*SlicedCTR, error) {
+	a, err := NewSliced(keys)
+	if err != nil {
+		return nil, err
+	}
+	if len(nonces) != a.lanes {
+		return nil, fmt.Errorf("aes: %d nonces for %d lanes", len(nonces), a.lanes)
+	}
+	g := &SlicedCTR{aes: a, nonces: make([]uint64, a.lanes), ctrs: make([]uint64, a.lanes)}
+	for l, n := range nonces {
+		if len(n) != 8 {
+			return nil, fmt.Errorf("aes: lane %d nonce must be 8 bytes", l)
+		}
+		g.nonces[l] = binary.LittleEndian.Uint64(n)
+	}
+	return g, nil
+}
+
+// Lanes returns the number of active lanes.
+func (g *SlicedCTR) Lanes() int { return g.aes.lanes }
+
+// NextBatch writes lanes×16 bytes into dst (lane L's block at offset
+// 16·L, identical bytes to lane L's scalar CTR stream) and advances every
+// lane counter. len(dst) must be at least Lanes()×16.
+func (g *SlicedCTR) NextBatch(dst []byte) {
+	lanes := g.aes.lanes
+	if len(dst) < lanes*BlockSize {
+		panic("aes: batch buffer too small")
+	}
+	los := make([]uint64, lanes)
+	his := make([]uint64, lanes)
+	for l := 0; l < lanes; l++ {
+		los[l] = g.nonces[l]
+		// Block bytes 8..15 hold the counter big-endian; the plane packing
+		// reads them little-endian, hence the byte reversal.
+		his[l] = bits.ReverseBytes64(g.ctrs[l])
+		g.ctrs[l]++
+	}
+	var st [128]uint64
+	lo := bitslice.PackWords(los)
+	hi := bitslice.PackWords(his)
+	copy(st[0:64], lo[:])
+	copy(st[64:128], hi[:])
+	g.aes.EncryptBlocks(&st)
+	var loO, hiO [64]uint64
+	copy(loO[:], st[0:64])
+	copy(hiO[:], st[64:128])
+	outLo := bitslice.UnpackWords(&loO, lanes)
+	outHi := bitslice.UnpackWords(&hiO, lanes)
+	for l := 0; l < lanes; l++ {
+		binary.LittleEndian.PutUint64(dst[16*l:], outLo[l])
+		binary.LittleEndian.PutUint64(dst[16*l+8:], outHi[l])
+	}
+}

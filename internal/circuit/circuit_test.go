@@ -1,0 +1,169 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// A compiled full adder must match integer addition bit-for-bit on all 64
+// lanes.
+func TestFullAdderCircuit(t *testing.T) {
+	b := NewBuilder()
+	const width = 16
+	var x, y [width]Gate
+	for i := 0; i < width; i++ {
+		x[i] = b.Input()
+	}
+	for i := 0; i < width; i++ {
+		y[i] = b.Input()
+	}
+	carry := b.Const(0)
+	outs := make([]Gate, width)
+	for i := 0; i < width; i++ {
+		s := b.Xor(b.Xor(x[i], y[i]), carry)
+		carry = b.Or(b.And(x[i], y[i]), b.And(carry, b.Xor(x[i], y[i])))
+		outs[i] = s
+	}
+	p := b.Compile(outs)
+
+	rng := rand.New(rand.NewSource(4))
+	av := make([]uint16, 64)
+	bv := make([]uint16, 64)
+	for l := range av {
+		av[l] = uint16(rng.Uint32())
+		bv[l] = uint16(rng.Uint32())
+	}
+	in := make([]uint64, 2*width)
+	for i := 0; i < width; i++ {
+		for l := 0; l < 64; l++ {
+			in[i] |= uint64((av[l]>>uint(i))&1) << uint(l)
+			in[width+i] |= uint64((bv[l]>>uint(i))&1) << uint(l)
+		}
+	}
+	out := make([]uint64, width)
+	p.Run(in, out, nil)
+	for l := 0; l < 64; l++ {
+		want := av[l] + bv[l]
+		var got uint16
+		for i := 0; i < width; i++ {
+			got |= uint16((out[i]>>uint(l))&1) << uint(i)
+		}
+		if got != want {
+			t.Fatalf("lane %d: %d + %d = %d, circuit %d", l, av[l], bv[l], want, got)
+		}
+	}
+}
+
+func TestGatesAndMux(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input()
+	y := b.Input()
+	sel := b.Input()
+	outs := []Gate{
+		b.Xor(x, y), b.And(x, y), b.Or(x, y), b.Not(x),
+		b.Mux(sel, x, y), b.Const(1), b.Const(0),
+	}
+	p := b.Compile(outs)
+	in := []uint64{0b1100, 0b1010, 0b1111}
+	out := make([]uint64, len(outs))
+	p.Run(in, out, nil)
+	if out[0]&0xF != 0b0110 || out[1]&0xF != 0b1000 || out[2]&0xF != 0b1110 {
+		t.Fatalf("xor/and/or wrong: %b %b %b", out[0]&0xF, out[1]&0xF, out[2]&0xF)
+	}
+	if out[3]&0xF != 0b0011 {
+		t.Fatalf("not wrong: %b", out[3]&0xF)
+	}
+	if out[4]&0xF != 0b1100 { // sel all ones selects x
+		t.Fatalf("mux wrong: %b", out[4]&0xF)
+	}
+	if out[5] != ^uint64(0) || out[6] != 0 {
+		t.Fatal("const wrong")
+	}
+}
+
+func TestXorMany(t *testing.T) {
+	b := NewBuilder()
+	g := []Gate{b.Input(), b.Input(), b.Input()}
+	p := b.Compile([]Gate{b.XorMany(g...)})
+	out := make([]uint64, 1)
+	p.Run([]uint64{1, 3, 5}, out, nil)
+	if out[0] != 1^3^5 {
+		t.Fatalf("xormany: %d", out[0])
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input()
+	y := b.Input()
+	_ = b.And(x, y) // dead
+	live := b.Xor(x, y)
+	p := b.Compile([]Gate{live})
+	// 2 inputs + 1 xor = 3 registers; the dead AND must be gone.
+	if p.ScratchLen() != 3 {
+		t.Errorf("expected 3 registers after DCE, got %d", p.ScratchLen())
+	}
+	out := make([]uint64, 1)
+	p.Run([]uint64{6, 3}, out, nil)
+	if out[0] != 5 {
+		t.Fatalf("xor after DCE: %d", out[0])
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input()
+	y := b.Input()
+	b.Compile([]Gate{b.Xor(b.And(x, y), b.Or(x, y))})
+	gates, nonlinear := b.Stats()
+	if gates != 3 || nonlinear != 2 {
+		t.Errorf("stats = (%d,%d), want (3,2)", gates, nonlinear)
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	b := NewBuilder()
+	x := b.Input()
+	assertPanics("bad gate", func() { b.Xor(x, Gate(99)) })
+	assertPanics("empty xormany", func() { b.XorMany() })
+	p := b.Compile([]Gate{x})
+	assertPanics("wrong inputs", func() { p.Run(nil, make([]uint64, 1), nil) })
+	assertPanics("wrong outputs", func() { p.Run(make([]uint64, 1), nil, nil) })
+	assertPanics("compile bad output", func() { b.Compile([]Gate{Gate(-1)}) })
+}
+
+// Property: compiled XOR-tree equals direct reduction for random shapes.
+func TestRandomXorTrees(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		ins := make([]Gate, n)
+		for i := range ins {
+			ins[i] = b.Input()
+		}
+		p := b.Compile([]Gate{b.XorMany(ins...)})
+		in := make([]uint64, n)
+		var want uint64
+		for i := range in {
+			in[i] = rng.Uint64()
+			want ^= in[i]
+		}
+		out := make([]uint64, 1)
+		p.Run(in, out, make([]uint64, p.ScratchLen()))
+		return out[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

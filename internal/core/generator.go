@@ -1,0 +1,198 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/aes"
+	"repro/internal/grain"
+	"repro/internal/mickey"
+	"repro/internal/trivium"
+)
+
+// Algorithm selects the underlying bitsliced CSPRNG.
+type Algorithm int
+
+const (
+	// MICKEY is the bitsliced MICKEY 2.0 engine — the paper's headline
+	// generator.
+	MICKEY Algorithm = iota
+	// GRAIN is the bitsliced Grain v1 engine.
+	GRAIN
+	// AESCTR is the bitsliced AES-128 counter-mode engine.
+	AESCTR
+	// TRIVIUM is the bitsliced Trivium engine — an extension beyond the
+	// paper's three ciphers (the remaining eSTREAM hardware-profile
+	// winner), and the fastest engine in this repository.
+	TRIVIUM
+)
+
+// String returns the algorithm's display name.
+func (a Algorithm) String() string {
+	switch a {
+	case MICKEY:
+		return "mickey"
+	case GRAIN:
+		return "grain"
+	case AESCTR:
+		return "aes-ctr"
+	case TRIVIUM:
+		return "trivium"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm maps a name to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "mickey":
+		return MICKEY, nil
+	case "grain":
+		return GRAIN, nil
+	case "aes-ctr", "aes":
+		return AESCTR, nil
+	case "trivium":
+		return TRIVIUM, nil
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q (want mickey, grain, aes-ctr or trivium)", s)
+}
+
+// Algorithms lists all supported algorithms.
+var Algorithms = []Algorithm{MICKEY, GRAIN, AESCTR, TRIVIUM}
+
+// engine is one 64-lane bitsliced generator producing fixed-size blocks.
+type engine interface {
+	// blockBytes is the output of one nextBlock call.
+	blockBytes() int
+	// nextBlock writes exactly blockBytes() bytes.
+	nextBlock(dst []byte)
+}
+
+type mickeyEngine struct{ m *mickey.Sliced }
+
+func (e *mickeyEngine) blockBytes() int { return 512 }
+
+func (e *mickeyEngine) nextBlock(dst []byte) {
+	// 64 clocks × 64 lanes, written in device (raw word) order.
+	for i := 0; i < 64; i++ {
+		binary.LittleEndian.PutUint64(dst[8*i:], e.m.ClockWord())
+	}
+}
+
+type grainEngine struct{ g *grain.Sliced }
+
+func (e *grainEngine) blockBytes() int { return 512 }
+
+func (e *grainEngine) nextBlock(dst []byte) {
+	for i := 0; i < 64; i++ {
+		binary.LittleEndian.PutUint64(dst[8*i:], e.g.ClockWord())
+	}
+}
+
+type aesEngine struct{ g *aes.SlicedCTR }
+
+func (e *aesEngine) blockBytes() int { return aes.BatchSize }
+
+func (e *aesEngine) nextBlock(dst []byte) { e.g.NextBatch(dst) }
+
+type triviumEngine struct{ t *trivium.Sliced }
+
+func (e *triviumEngine) blockBytes() int { return 512 }
+
+func (e *triviumEngine) nextBlock(dst []byte) {
+	for i := 0; i < 64; i++ {
+		binary.LittleEndian.PutUint64(dst[8*i:], e.t.ClockWord())
+	}
+}
+
+// newEngine builds a fully-seeded 64-lane engine for one (seed, domain)
+// pair.
+func newEngine(alg Algorithm, seed, domain uint64) (engine, error) {
+	const lanes = 64
+	switch alg {
+	case MICKEY:
+		keys, ivs := laneMaterial(seed, domain, lanes, mickey.KeySize, 10)
+		m, err := mickey.NewSliced(keys, ivs, mickey.MaxIVBits)
+		if err != nil {
+			return nil, err
+		}
+		return &mickeyEngine{m: m}, nil
+	case GRAIN:
+		keys, ivs := laneMaterial(seed, domain, lanes, grain.KeySize, grain.IVSize)
+		g, err := grain.NewSliced(keys, ivs)
+		if err != nil {
+			return nil, err
+		}
+		return &grainEngine{g: g}, nil
+	case AESCTR:
+		keys, nonces := laneMaterial(seed, domain, lanes, 16, 8)
+		g, err := aes.NewSlicedCTR(keys, nonces)
+		if err != nil {
+			return nil, err
+		}
+		return &aesEngine{g: g}, nil
+	case TRIVIUM:
+		keys, ivs := laneMaterial(seed, domain, lanes, trivium.KeySize, trivium.IVSize)
+		t, err := trivium.NewSliced(keys, ivs)
+		if err != nil {
+			return nil, err
+		}
+		return &triviumEngine{t: t}, nil
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %v", alg)
+}
+
+// Generator is a deterministic single-engine BSRNG byte stream: one
+// 64-lane bitsliced engine behind an io.Reader.
+type Generator struct {
+	alg Algorithm
+	eng engine
+	buf []byte
+	pos int // unread offset into buf; len(buf) when empty
+}
+
+// NewGenerator builds a seeded generator.
+func NewGenerator(alg Algorithm, seed uint64) (*Generator, error) {
+	eng, err := newEngine(alg, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{alg: alg, eng: eng}
+	g.buf = make([]byte, eng.blockBytes())
+	g.pos = len(g.buf)
+	return g, nil
+}
+
+// Algorithm reports which engine backs the generator.
+func (g *Generator) Algorithm() Algorithm { return g.alg }
+
+// Read fills p with pseudo-random bytes; it never fails.
+func (g *Generator) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if g.pos == len(g.buf) {
+			g.eng.nextBlock(g.buf)
+			g.pos = 0
+		}
+		k := copy(p, g.buf[g.pos:])
+		g.pos += k
+		p = p[k:]
+	}
+	return n, nil
+}
+
+// Uint64 returns the next 8 output bytes as a little-endian word.
+func (g *Generator) Uint64() uint64 {
+	var b [8]byte
+	g.Read(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Words fills dst with raw output words — the cheapest bulk path.
+func (g *Generator) Words(dst []uint64) {
+	var b [8]byte
+	for i := range dst {
+		g.Read(b[:])
+		dst[i] = binary.LittleEndian.Uint64(b[:])
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Stream is the multi-core BSRNG: W workers, each owning an independent
+// 64-lane bitsliced engine, mirror the paper's CUDA thread blocks. Every
+// worker accumulates output in a private staging buffer (the shared-memory
+// staging of §4.5) and hands full chunks to the consumer, which assembles
+// them in a fixed worker-round-robin order — so the stream is
+// deterministic for a given (algorithm, seed, workers, staging) tuple
+// regardless of scheduling.
+type Stream struct {
+	alg     Algorithm
+	workers int
+	staging int
+
+	chunks []chan []byte // per-worker ordered chunk delivery
+	free   chan []byte   // recycled buffers
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	cur  []byte // chunk currently being consumed
+	pos  int
+	next int // worker whose chunk is consumed next
+}
+
+// StreamConfig tunes the Stream; zero values select defaults
+// (runtime.NumCPU() workers, 64 KiB staging chunks).
+type StreamConfig struct {
+	Workers int
+	// StagingBytes is the per-worker chunk size. The paper determines the
+	// analogous shared-memory occupancy "by try and error" (§4.5); the
+	// BenchmarkStagingAblation bench sweeps it.
+	StagingBytes int
+}
+
+// NewStream starts the worker pool. Close must be called to release the
+// workers.
+func NewStream(alg Algorithm, seed uint64, cfg StreamConfig) (*Stream, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.Workers < 1 || cfg.Workers > 4096 {
+		return nil, fmt.Errorf("core: worker count %d out of range", cfg.Workers)
+	}
+	if cfg.StagingBytes == 0 {
+		cfg.StagingBytes = 64 << 10
+	}
+	if cfg.StagingBytes < 512 {
+		return nil, fmt.Errorf("core: staging buffer must be ≥ 512 bytes")
+	}
+
+	s := &Stream{
+		alg:     alg,
+		workers: cfg.Workers,
+		staging: cfg.StagingBytes,
+		chunks:  make([]chan []byte, cfg.Workers),
+		free:    make(chan []byte, 4*cfg.Workers),
+		stop:    make(chan struct{}),
+	}
+	engines := make([]engine, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		eng, err := newEngine(alg, seed, uint64(w)+1)
+		if err != nil {
+			return nil, err
+		}
+		engines[w] = eng
+		s.chunks[w] = make(chan []byte, 2)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.run(w, engines[w])
+	}
+	return s, nil
+}
+
+// run is one worker: generate into a staging buffer, deliver, repeat.
+func (s *Stream) run(w int, eng engine) {
+	defer s.wg.Done()
+	blk := eng.blockBytes()
+	// Round the chunk down to whole engine blocks.
+	chunkLen := s.staging / blk * blk
+	if chunkLen == 0 {
+		chunkLen = blk
+	}
+	for {
+		var buf []byte
+		select {
+		case buf = <-s.free:
+		default:
+			buf = nil
+		}
+		if cap(buf) < chunkLen {
+			buf = make([]byte, chunkLen)
+		}
+		buf = buf[:chunkLen]
+		for off := 0; off < chunkLen; off += blk {
+			eng.nextBlock(buf[off : off+blk])
+		}
+		select {
+		case s.chunks[w] <- buf:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Read assembles the deterministic stream; it never fails.
+func (s *Stream) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if s.pos == len(s.cur) {
+			if s.cur != nil {
+				select {
+				case s.free <- s.cur:
+				default:
+				}
+			}
+			s.cur = <-s.chunks[s.next]
+			s.next = (s.next + 1) % s.workers
+			s.pos = 0
+		}
+		k := copy(p, s.cur[s.pos:])
+		s.pos += k
+		p = p[k:]
+	}
+	return n, nil
+}
+
+// Close stops the workers. The Stream must not be read after Close.
+func (s *Stream) Close() {
+	close(s.stop)
+	// Drain so workers blocked on delivery observe the stop.
+	for _, c := range s.chunks {
+		select {
+		case <-c:
+		default:
+		}
+	}
+	s.wg.Wait()
+}
+
+// Workers reports the pool size.
+func (s *Stream) Workers() int { return s.workers }
+
+// Fill generates len(dst) bytes using all workers in one parallel
+// one-shot: dst is split into contiguous per-worker regions (the
+// "coalesced write" layout of §4.5) that are filled concurrently. The
+// output is deterministic for a given (algorithm, seed, workers) and
+// independent of StagingBytes.
+func Fill(alg Algorithm, seed uint64, workers int, dst []byte) error {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	// Regions are whole multiples of the engine block size except the last.
+	probe, err := newEngine(alg, seed, 1)
+	if err != nil {
+		return err
+	}
+	blk := probe.blockBytes()
+	per := (len(dst)/workers + blk - 1) / blk * blk
+	if per == 0 {
+		per = blk
+	}
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		if lo >= len(dst) {
+			break
+		}
+		hi := lo + per
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			// Worker w uses seed domain w+1, the same derivation as the
+			// Stream workers; worker 0 reuses the probe engine.
+			var eng engine
+			var err error
+			if w == 0 {
+				eng = probe
+			} else {
+				eng, err = newEngine(alg, seed, uint64(w)+1)
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			buf := make([]byte, blk)
+			for off := lo; off < hi; off += blk {
+				eng.nextBlock(buf)
+				copy(dst[off:hi], buf)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}

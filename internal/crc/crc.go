@@ -1,0 +1,147 @@
+// Package crc implements cyclic redundancy checks in three forms, mirroring
+// the worked example of paper §4.2: the naive bit-serial shift register
+// (Fig. 5), the conventional table-driven software implementation (used
+// here as the oracle), and the bitsliced engine that runs 64 independent
+// CRC streams in parallel with no shift-and-mask work (Fig. 6).
+//
+// The registers operate LSB-first on reflected polynomials, the standard
+// layout for serial CRCs (CRC-8/MAXIM and CRC-32/IEEE are provided).
+package crc
+
+// Poly8Maxim is the reflected form of x^8+x^5+x^4+1 (CRC-8/MAXIM, the
+// Dallas/Maxim 1-Wire CRC — the 8-bit register with taps at bits 0, 3 and
+// 4 drawn in the paper's Fig. 5).
+const Poly8Maxim = uint8(0x8C)
+
+// Poly32IEEE is the reflected form of the CRC-32 polynomial used by
+// Ethernet, gzip, PNG (Koopman's "32-bit cyclic redundancy codes for
+// internet applications" is the paper's reference [19]).
+const Poly32IEEE = uint32(0xEDB88320)
+
+// BitSerial8 is the naive CRC-8 register of Fig. 5: one instance, clocked
+// one input bit at a time with an explicit shift and conditional mask.
+type BitSerial8 struct {
+	poly uint8
+	crc  uint8
+}
+
+// NewBitSerial8 returns a bit-serial CRC-8 over the given reflected
+// polynomial, initialized to init.
+func NewBitSerial8(poly, init uint8) *BitSerial8 {
+	return &BitSerial8{poly: poly, crc: init}
+}
+
+// ClockBit feeds one input bit (LSB-first stream order).
+func (c *BitSerial8) ClockBit(b uint8) {
+	fb := (c.crc ^ b) & 1
+	c.crc >>= 1
+	if fb == 1 {
+		c.crc ^= c.poly
+	}
+}
+
+// Write feeds whole bytes, LSB-first within each byte.
+func (c *BitSerial8) Write(p []byte) (int, error) {
+	for _, by := range p {
+		for j := uint(0); j < 8; j++ {
+			c.ClockBit((by >> j) & 1)
+		}
+	}
+	return len(p), nil
+}
+
+// Sum8 returns the current CRC value.
+func (c *BitSerial8) Sum8() uint8 { return c.crc }
+
+// Reset restores the register to the given init value.
+func (c *BitSerial8) Reset(init uint8) { c.crc = init }
+
+// Table8 is the conventional byte-at-a-time table-driven CRC-8; it is the
+// correctness oracle for the other two forms.
+type Table8 struct {
+	table [256]uint8
+	crc   uint8
+}
+
+// NewTable8 builds the 256-entry table for the given reflected polynomial.
+func NewTable8(poly, init uint8) *Table8 {
+	t := &Table8{crc: init}
+	for i := 0; i < 256; i++ {
+		c := uint8(i)
+		for j := 0; j < 8; j++ {
+			if c&1 == 1 {
+				c = (c >> 1) ^ poly
+			} else {
+				c >>= 1
+			}
+		}
+		t.table[i] = c
+	}
+	return t
+}
+
+// Write updates the CRC with p.
+func (t *Table8) Write(p []byte) (int, error) {
+	c := t.crc
+	for _, b := range p {
+		c = t.table[c^b]
+	}
+	t.crc = c
+	return len(p), nil
+}
+
+// Sum8 returns the current CRC value.
+func (t *Table8) Sum8() uint8 { return t.crc }
+
+// Reset restores the register to the given init value.
+func (t *Table8) Reset(init uint8) { t.crc = init }
+
+// Checksum8 is a convenience one-shot CRC-8/MAXIM (init 0).
+func Checksum8(p []byte) uint8 {
+	t := NewTable8(Poly8Maxim, 0)
+	t.Write(p)
+	return t.Sum8()
+}
+
+// BitSerial32 is the bit-serial CRC-32 register (Fig. 5 scaled to 32 bits).
+type BitSerial32 struct {
+	poly uint32
+	crc  uint32
+}
+
+// NewBitSerial32 returns a bit-serial CRC-32 over the given reflected
+// polynomial, initialized to init (0xFFFFFFFF for CRC-32/IEEE).
+func NewBitSerial32(poly, init uint32) *BitSerial32 {
+	return &BitSerial32{poly: poly, crc: init}
+}
+
+// ClockBit feeds one input bit (LSB-first stream order).
+func (c *BitSerial32) ClockBit(b uint8) {
+	fb := (c.crc ^ uint32(b)) & 1
+	c.crc >>= 1
+	if fb == 1 {
+		c.crc ^= c.poly
+	}
+}
+
+// Write feeds whole bytes, LSB-first within each byte.
+func (c *BitSerial32) Write(p []byte) (int, error) {
+	for _, by := range p {
+		for j := uint(0); j < 8; j++ {
+			c.ClockBit((by >> j) & 1)
+		}
+	}
+	return len(p), nil
+}
+
+// Sum32 returns the current register value (callers apply the final XOR,
+// 0xFFFFFFFF for CRC-32/IEEE).
+func (c *BitSerial32) Sum32() uint32 { return c.crc }
+
+// ChecksumIEEE is a one-shot CRC-32/IEEE (init and final XOR 0xFFFFFFFF),
+// bit-serially computed; it matches hash/crc32.ChecksumIEEE.
+func ChecksumIEEE(p []byte) uint32 {
+	c := NewBitSerial32(Poly32IEEE, 0xFFFFFFFF)
+	c.Write(p)
+	return c.Sum32() ^ 0xFFFFFFFF
+}

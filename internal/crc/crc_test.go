@@ -1,0 +1,217 @@
+package crc
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// CRC-8/MAXIM catalog check value: crc("123456789") = 0xA1.
+func TestChecksum8KnownAnswer(t *testing.T) {
+	if got := Checksum8([]byte("123456789")); got != 0xA1 {
+		t.Fatalf("CRC-8/MAXIM check = %#x, want 0xa1", got)
+	}
+}
+
+func TestBitSerial8MatchesTable8(t *testing.T) {
+	f := func(p []byte) bool {
+		bs := NewBitSerial8(Poly8Maxim, 0)
+		tb := NewTable8(Poly8Maxim, 0)
+		bs.Write(p)
+		tb.Write(p)
+		return bs.Sum8() == tb.Sum8()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitSerial8Reset(t *testing.T) {
+	bs := NewBitSerial8(Poly8Maxim, 0)
+	bs.Write([]byte("hello"))
+	bs.Reset(0)
+	if bs.Sum8() != 0 {
+		t.Fatal("reset failed")
+	}
+	tb := NewTable8(Poly8Maxim, 0)
+	tb.Write([]byte("x"))
+	tb.Reset(0)
+	if tb.Sum8() != 0 {
+		t.Fatal("table reset failed")
+	}
+}
+
+func TestChecksumIEEEMatchesStdlib(t *testing.T) {
+	f := func(p []byte) bool {
+		return ChecksumIEEE(p) == crc32.ChecksumIEEE(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumIEEEKnownAnswer(t *testing.T) {
+	if got := ChecksumIEEE([]byte("123456789")); got != 0xCBF43926 {
+		t.Fatalf("CRC-32/IEEE check = %#x, want 0xcbf43926", got)
+	}
+}
+
+// The bitsliced engine must match 64 independent table-driven CRCs over 64
+// distinct input streams (Fig. 6 vs Fig. 5).
+func TestSliced8MatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const streamLen = 73
+	streams := make([][]byte, 64)
+	for l := range streams {
+		streams[l] = make([]byte, streamLen)
+		rng.Read(streams[l])
+	}
+	inits := make([]uint64, 64)
+	for i := range inits {
+		inits[i] = uint64(rng.Intn(256))
+	}
+	s, err := NewSliced8(Poly8Maxim, inits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(streams); err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < 64; lane++ {
+		tb := NewTable8(Poly8Maxim, uint8(inits[lane]))
+		tb.Write(streams[lane])
+		if got := s.Lane(lane); got != tb.Sum8() {
+			t.Fatalf("lane %d: sliced %#x, oracle %#x", lane, got, tb.Sum8())
+		}
+	}
+}
+
+func TestSliced8InitialLaneValues(t *testing.T) {
+	inits := []uint64{0xAB, 0x00, 0xFF}
+	s, err := NewSliced8(Poly8Maxim, inits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane, want := range inits {
+		if got := s.Lane(lane); got != uint8(want) {
+			t.Fatalf("lane %d init = %#x, want %#x", lane, got, want)
+		}
+	}
+}
+
+func TestSliced8RejectsBadInput(t *testing.T) {
+	if _, err := NewSliced8(Poly8Maxim, make([]uint64, 65)); err == nil {
+		t.Error("65 lanes accepted")
+	}
+	s, _ := NewSliced8(Poly8Maxim, nil)
+	if err := s.Write(make([][]byte, 65)); err == nil {
+		t.Error("65 streams accepted")
+	}
+	if err := s.Write([][]byte{{1, 2}, {1}}); err == nil {
+		t.Error("ragged streams accepted")
+	}
+	if err := s.Write(nil); err != nil {
+		t.Errorf("empty write: %v", err)
+	}
+}
+
+func TestSliced32MatchesStdlibPerLane(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const streamLen = 41
+	streams := make([][]byte, 64)
+	for l := range streams {
+		streams[l] = make([]byte, streamLen)
+		rng.Read(streams[l])
+	}
+	s := NewSliced32(Poly32IEEE, 0xFFFFFFFF)
+	for byteIdx := 0; byteIdx < streamLen; byteIdx++ {
+		for j := uint(0); j < 8; j++ {
+			var in uint64
+			for lane, st := range streams {
+				in |= uint64((st[byteIdx]>>j)&1) << uint(lane)
+			}
+			s.ClockBit(in)
+		}
+	}
+	for lane := 0; lane < 64; lane++ {
+		want := crc32.ChecksumIEEE(streams[lane])
+		if got := s.Lane(lane) ^ 0xFFFFFFFF; got != want {
+			t.Fatalf("lane %d: sliced %#x, stdlib %#x", lane, got, want)
+		}
+	}
+}
+
+func TestSliced32WriteWords(t *testing.T) {
+	// All 64 lanes fed the same stream must all equal the scalar CRC.
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	s := NewSliced32(Poly32IEEE, 0xFFFFFFFF)
+	words := make([]uint64, 0, len(data)*8)
+	for _, by := range data {
+		for j := uint(0); j < 8; j++ {
+			bit := uint64((by >> j) & 1)
+			w := uint64(0)
+			if bit == 1 {
+				w = ^uint64(0)
+			}
+			words = append(words, w)
+		}
+	}
+	s.WriteWords(words)
+	want := crc32.ChecksumIEEE(data)
+	for lane := 0; lane < 64; lane++ {
+		if got := s.Lane(lane) ^ 0xFFFFFFFF; got != want {
+			t.Fatalf("lane %d: %#x want %#x", lane, got, want)
+		}
+	}
+}
+
+func BenchmarkNaiveBitSerial8x64Streams(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	streams := make([][]byte, 64)
+	for l := range streams {
+		streams[l] = make([]byte, 1024)
+		rng.Read(streams[l])
+	}
+	b.SetBytes(64 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := range streams {
+			bs := NewBitSerial8(Poly8Maxim, 0)
+			bs.Write(streams[l])
+		}
+	}
+}
+
+func BenchmarkSliced8x64Streams(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	streams := make([][]byte, 64)
+	for l := range streams {
+		streams[l] = make([]byte, 1024)
+		rng.Read(streams[l])
+	}
+	b.SetBytes(64 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := NewSliced8(Poly8Maxim, nil)
+		s.Write(streams)
+	}
+}
+
+func BenchmarkTable8x64Streams(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	streams := make([][]byte, 64)
+	for l := range streams {
+		streams[l] = make([]byte, 1024)
+		rng.Read(streams[l])
+	}
+	tb := NewTable8(Poly8Maxim, 0)
+	b.SetBytes(64 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := range streams {
+			tb.Reset(0)
+			tb.Write(streams[l])
+		}
+	}
+}

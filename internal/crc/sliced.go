@@ -1,0 +1,140 @@
+package crc
+
+import (
+	"fmt"
+
+	"repro/internal/bitslice"
+)
+
+// Sliced8 is the bitsliced CRC-8 of paper Fig. 6: eight uint64 planes hold
+// the registers of 64 independent CRC streams (plane i, bit L = register
+// bit i of stream L). One ClockBit consumes one input bit from each of the
+// 64 streams and advances all of them with a handful of full-width word
+// operations; the per-instance shift-and-mask of Fig. 5 disappears into
+// register renaming.
+type Sliced8 struct {
+	poly   uint8
+	planes [8]uint64
+	head   int
+}
+
+// NewSliced8 builds the 64-lane engine; init gives each lane's initial
+// register value (lanes beyond len(inits) start at zero).
+func NewSliced8(poly uint8, inits []uint64) (*Sliced8, error) {
+	if len(inits) > bitslice.W {
+		return nil, fmt.Errorf("crc: more than 64 lanes")
+	}
+	s := &Sliced8{poly: poly}
+	for lane, iv := range inits {
+		for i := 0; i < 8; i++ {
+			bitslice.SetLaneBit(s.planes[:], i, lane, uint8((iv>>uint(i))&1))
+		}
+	}
+	return s, nil
+}
+
+// ClockBit consumes one input bit per lane (bit L of in = next input bit
+// of stream L) and advances all 64 registers.
+func (s *Sliced8) ClockBit(in uint64) {
+	fb := s.planes[s.head] ^ in
+	// Shift: rename the ring head; the vacated top plane becomes zero and
+	// then receives fb at every polynomial tap position.
+	old := s.head
+	s.head = s.idx(1)
+	s.planes[old] = 0 // this plane is now register bit 7
+	for i := 0; i < 8; i++ {
+		if s.poly&(1<<uint(i)) != 0 {
+			s.planes[s.idx(i)] ^= fb
+		}
+	}
+}
+
+func (s *Sliced8) idx(i int) int { return (s.head + i) & 7 }
+
+// Write feeds 64 parallel byte streams: streams[L] is the input of lane L,
+// consumed LSB-first within each byte. All streams must have equal length.
+func (s *Sliced8) Write(streams [][]byte) error {
+	if len(streams) == 0 {
+		return nil
+	}
+	if len(streams) > bitslice.W {
+		return fmt.Errorf("crc: more than 64 streams")
+	}
+	n := len(streams[0])
+	for _, st := range streams {
+		if len(st) != n {
+			return fmt.Errorf("crc: ragged stream lengths")
+		}
+	}
+	for byteIdx := 0; byteIdx < n; byteIdx++ {
+		for j := uint(0); j < 8; j++ {
+			var in uint64
+			for lane, st := range streams {
+				in |= uint64((st[byteIdx]>>j)&1) << uint(lane)
+			}
+			s.ClockBit(in)
+		}
+	}
+	return nil
+}
+
+// Lane returns the current CRC register of one lane.
+func (s *Sliced8) Lane(lane int) uint8 {
+	var v uint8
+	for i := 0; i < 8; i++ {
+		v |= bitslice.LaneBit(s.planes[:], s.idx(i), lane) << uint(i)
+	}
+	return v
+}
+
+// Sliced32 is the 32-bit scale-up of Sliced8: 32 planes, 64 lanes.
+type Sliced32 struct {
+	poly   uint32
+	planes [32]uint64
+	head   int
+}
+
+// NewSliced32 builds the 64-lane CRC-32 engine with every lane initialized
+// to init (0xFFFFFFFF for CRC-32/IEEE).
+func NewSliced32(poly uint32, init uint32) *Sliced32 {
+	s := &Sliced32{poly: poly}
+	for i := 0; i < 32; i++ {
+		if init&(1<<uint(i)) != 0 {
+			s.planes[i] = ^uint64(0)
+		}
+	}
+	return s
+}
+
+// ClockBit consumes one input bit per lane and advances all 64 registers.
+func (s *Sliced32) ClockBit(in uint64) {
+	fb := s.planes[s.head] ^ in
+	old := s.head
+	s.head = s.idx(1)
+	s.planes[old] = 0
+	for i := 0; i < 32; i++ {
+		if s.poly&(1<<uint(i)) != 0 {
+			s.planes[s.idx(i)] ^= fb
+		}
+	}
+}
+
+func (s *Sliced32) idx(i int) int { return (s.head + i) & 31 }
+
+// Lane returns the current CRC register of one lane.
+func (s *Sliced32) Lane(lane int) uint32 {
+	var v uint32
+	for i := 0; i < 32; i++ {
+		v |= uint32(bitslice.LaneBit(s.planes[:], s.idx(i), lane)) << uint(i)
+	}
+	return v
+}
+
+// WriteWords feeds pre-sliced input: each element of in is one clock's
+// worth of lane bits (bit L = next input bit of stream L). This is the
+// zero-overhead path used when the producer is itself bitsliced.
+func (s *Sliced32) WriteWords(in []uint64) {
+	for _, w := range in {
+		s.ClockBit(w)
+	}
+}

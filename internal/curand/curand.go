@@ -1,0 +1,51 @@
+// Package curand implements, from scratch, the pseudo-random generator
+// family offered by NVIDIA's cuRAND library — the paper's baseline (§5.2
+// evaluates against cuRAND's default Mersenne-Twister generator):
+//
+//	MT19937     Matsumoto & Nishimura's 32-bit Mersenne Twister
+//	MT19937_64  the 64-bit variant
+//	XORWOW      Marsaglia's xorwow (cuRAND's default XORWOW generator)
+//	MRG32k3a    L'Ecuyer's combined multiple recursive generator
+//	Philox4x32  Salmon et al.'s counter-based Philox4x32-10
+//
+// Each generator exposes its natural word output plus a common Source32
+// interface and byte-stream adapters used by the benchmark harness.
+package curand
+
+import "encoding/binary"
+
+// Source32 is the common face of the 32-bit generators.
+type Source32 interface {
+	// Uint32 returns the next 32 pseudo-random bits.
+	Uint32() uint32
+}
+
+// Reader adapts a Source32 to io.Reader for byte-oriented consumers.
+type Reader struct {
+	Src Source32
+	buf [4]byte
+	n   int // unread bytes remaining in buf
+}
+
+// Read fills p with pseudo-random bytes; it never fails.
+func (r *Reader) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if r.n == 0 {
+			binary.LittleEndian.PutUint32(r.buf[:], r.Src.Uint32())
+			r.n = 4
+		}
+		k := copy(p, r.buf[4-r.n:])
+		r.n -= k
+		p = p[k:]
+	}
+	return n, nil
+}
+
+// Fill32 writes one word per element of dst — the bulk-generation path
+// used by the throughput benches.
+func Fill32(src Source32, dst []uint32) {
+	for i := range dst {
+		dst[i] = src.Uint32()
+	}
+}

@@ -1,0 +1,254 @@
+package curand
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// Reference first outputs of MT19937 with the canonical seed 5489
+// (mt19937ar.c, init_genrand(5489)).
+func TestMT19937KnownAnswer(t *testing.T) {
+	m := NewMT19937(5489)
+	want := []uint32{3499211612, 581869302, 3890346734, 3586334585, 545404204}
+	for i, w := range want {
+		if got := m.Uint32(); got != w {
+			t.Fatalf("output %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// Reference first output of MT19937-64 with seed 5489
+// (mt19937-64.c, init_genrand64(5489)).
+func TestMT19937_64KnownAnswer(t *testing.T) {
+	m := NewMT19937_64(5489)
+	if got := m.Uint64(); got != 14514284786278117030 {
+		t.Fatalf("first output = %d, want 14514284786278117030", got)
+	}
+}
+
+func TestMT19937SeedDeterminism(t *testing.T) {
+	a := NewMT19937(42)
+	b := NewMT19937(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewMT19937(43)
+	same := 0
+	b.Seed(43)
+	for i := 0; i < 1000; i++ {
+		if b.Uint32() == c.Uint32() {
+			same++
+		}
+	}
+	if same != 1000 {
+		t.Fatal("Seed() did not reproduce NewMT19937")
+	}
+}
+
+func TestMT19937DistinctSeedsDiverge(t *testing.T) {
+	a := NewMT19937(1)
+	b := NewMT19937(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("seeds 1 and 2 collide on %d of 1000 outputs", same)
+	}
+}
+
+func TestXORWOWNonDegenerate(t *testing.T) {
+	g := NewXORWOW(0)
+	seen := map[uint32]bool{}
+	for i := 0; i < 4096; i++ {
+		seen[g.Uint32()] = true
+	}
+	if len(seen) < 4090 {
+		t.Fatalf("only %d distinct values in 4096 outputs", len(seen))
+	}
+}
+
+func TestXORWOWSeedsDiffer(t *testing.T) {
+	a, b := NewXORWOW(7), NewXORWOW(8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("adjacent seeds collide on %d of 1000 outputs", same)
+	}
+}
+
+// The int64 MRG implementation must agree with exact big-integer
+// arithmetic (no overflow anywhere in the recurrences).
+func TestMRG32k3aMatchesBigInt(t *testing.T) {
+	g := NewMRG32k3aDefault()
+	m1 := big.NewInt(mrgM1)
+	m2 := big.NewInt(mrgM2)
+	s1 := []*big.Int{big.NewInt(12345), big.NewInt(12345), big.NewInt(12345)}
+	s2 := []*big.Int{big.NewInt(12345), big.NewInt(12345), big.NewInt(12345)}
+	for i := 0; i < 2000; i++ {
+		p1 := new(big.Int).Mul(big.NewInt(mrgA12), s1[1])
+		p1.Sub(p1, new(big.Int).Mul(big.NewInt(mrgA13n), s1[0]))
+		p1.Mod(p1, m1)
+		s1[0], s1[1], s1[2] = s1[1], s1[2], p1
+
+		p2 := new(big.Int).Mul(big.NewInt(mrgA21), s2[2])
+		p2.Sub(p2, new(big.Int).Mul(big.NewInt(mrgA23n), s2[0]))
+		p2.Mod(p2, m2)
+		s2[0], s2[1], s2[2] = s2[1], s2[2], p2
+
+		z := new(big.Int).Sub(p1, p2)
+		z.Mod(z, m1)
+		if got := g.next(); got != z.Int64() {
+			t.Fatalf("step %d: int64 %d, bigint %d", i, got, z.Int64())
+		}
+	}
+}
+
+func TestMRG32k3aFloatRange(t *testing.T) {
+	g := NewMRG32k3aDefault()
+	for i := 0; i < 10000; i++ {
+		f := g.Float64()
+		if f <= 0 || f > 1 {
+			t.Fatalf("Float64 out of (0,1]: %v", f)
+		}
+	}
+}
+
+func TestMRG32k3aSeedValidation(t *testing.T) {
+	if _, err := NewMRG32k3a([6]uint32{0, 0, 0, 1, 1, 1}); err == nil {
+		t.Error("all-zero component 1 accepted")
+	}
+	if _, err := NewMRG32k3a([6]uint32{1, 1, 1, 0, 0, 0}); err == nil {
+		t.Error("all-zero component 2 accepted")
+	}
+	if _, err := NewMRG32k3a([6]uint32{4294967087, 1, 1, 1, 1, 1}); err == nil {
+		t.Error("seed >= m1 accepted")
+	}
+	if _, err := NewMRG32k3a([6]uint32{1, 1, 1, 4294944443, 1, 1}); err == nil {
+		t.Error("seed >= m2 accepted")
+	}
+}
+
+// Random123 known-answer: philox4x32-10, counter 0, key 0.
+func TestPhiloxKnownAnswer(t *testing.T) {
+	got := Block([4]uint32{0, 0, 0, 0}, [2]uint32{0, 0})
+	want := [4]uint32{0x6627E8D5, 0xE169C58D, 0xBC57AC4C, 0x9B00DBD8}
+	if got != want {
+		t.Fatalf("philox(0,0) = %x, want %x", got, want)
+	}
+}
+
+func TestPhiloxCounterBased(t *testing.T) {
+	// Skipping ahead must land exactly on the sequential stream.
+	a := NewPhilox4x32(99)
+	b := NewPhilox4x32(99)
+	for i := 0; i < 4*10; i++ {
+		a.Uint32()
+	}
+	b.Skip(10)
+	for i := 0; i < 100; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatalf("skip-ahead diverged at output %d", i)
+		}
+	}
+}
+
+func TestPhiloxSkipCarry(t *testing.T) {
+	p := NewPhilox4x32(0)
+	p.ctr = [4]uint32{0xFFFFFFFF, 0xFFFFFFFF, 0, 0}
+	p.Skip(1)
+	if p.ctr != [4]uint32{0, 0, 1, 0} {
+		t.Fatalf("carry failed: %x", p.ctr)
+	}
+}
+
+func TestPhiloxKeysSeparateStreams(t *testing.T) {
+	a := Block([4]uint32{1, 2, 3, 4}, [2]uint32{1, 0})
+	b := Block([4]uint32{1, 2, 3, 4}, [2]uint32{2, 0})
+	if a == b {
+		t.Fatal("different keys produced identical blocks")
+	}
+}
+
+func TestReaderChunking(t *testing.T) {
+	f := func(seed uint32, sizes []uint8) bool {
+		a := &Reader{Src: NewMT19937(seed)}
+		b := &Reader{Src: NewMT19937(seed)}
+		total := 0
+		for _, s := range sizes {
+			total += int(s) % 9
+		}
+		if total == 0 {
+			return true
+		}
+		whole := make([]byte, total)
+		a.Read(whole)
+		pieces := make([]byte, 0, total)
+		for _, s := range sizes {
+			n := int(s) % 9
+			buf := make([]byte, n)
+			b.Read(buf)
+			pieces = append(pieces, buf...)
+		}
+		for i := range whole {
+			if whole[i] != pieces[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// First-order balance of every generator's bit stream.
+func TestGeneratorBitBalance(t *testing.T) {
+	gens := map[string]Source32{
+		"mt19937":    NewMT19937(7),
+		"mt19937_64": NewMT19937_64(7),
+		"xorwow":     NewXORWOW(7),
+		"mrg32k3a":   NewMRG32k3aDefault(),
+		"philox":     NewPhilox4x32(7),
+	}
+	for name, g := range gens {
+		ones := 0
+		const n = 1 << 14 // words → 2^19 bits
+		for i := 0; i < n; i++ {
+			v := g.Uint32()
+			for ; v != 0; v &= v - 1 {
+				ones++
+			}
+		}
+		bits := n * 32
+		mean := float64(bits) / 2
+		sigma := 362.0 // sqrt(bits)/2
+		if d := float64(ones) - mean; d > 6*sigma || d < -6*sigma {
+			t.Errorf("%s: bit bias %d ones of %d bits", name, ones, bits)
+		}
+	}
+}
+
+func benchFill(b *testing.B, src Source32) {
+	dst := make([]uint32, 1024)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fill32(src, dst)
+	}
+}
+
+func BenchmarkMT19937(b *testing.B)    { benchFill(b, NewMT19937(1)) }
+func BenchmarkMT19937_64(b *testing.B) { benchFill(b, NewMT19937_64(1)) }
+func BenchmarkXORWOW(b *testing.B)     { benchFill(b, NewXORWOW(1)) }
+func BenchmarkMRG32k3a(b *testing.B)   { benchFill(b, NewMRG32k3aDefault()) }
+func BenchmarkPhilox(b *testing.B)     { benchFill(b, NewPhilox4x32(1)) }

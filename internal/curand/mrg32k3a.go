@@ -1,0 +1,89 @@
+package curand
+
+import "fmt"
+
+// MRG32k3a is L'Ecuyer's combined multiple recursive generator (1999),
+// another member of the cuRAND family. Two order-3 linear recurrences
+// modulo near-2^32 primes are combined; the period is ≈ 2^191.
+type MRG32k3a struct {
+	s1 [3]int64 // state of the first component, in [0, m1)
+	s2 [3]int64 // state of the second component, in [0, m2)
+}
+
+// The generator's published constants.
+const (
+	mrgM1   = 4294967087 // 2^32 - 209
+	mrgM2   = 4294944443 // 2^32 - 22853
+	mrgA12  = 1403580
+	mrgA13n = 810728 // used negatively: -a13 s[n-3]
+	mrgA21  = 527612
+	mrgA23n = 1370589
+)
+
+// NewMRG32k3a seeds the generator. All six state values must lie in the
+// valid ranges and not be all zero per component; the canonical default
+// seed is 12345 for all six.
+func NewMRG32k3a(seed [6]uint32) (*MRG32k3a, error) {
+	g := &MRG32k3a{}
+	z1, z2 := true, true
+	for i := 0; i < 3; i++ {
+		if uint64(seed[i]) >= mrgM1 {
+			return nil, fmt.Errorf("mrg32k3a: seed[%d] must be < %d", i, int64(mrgM1))
+		}
+		if uint64(seed[i+3]) >= mrgM2 {
+			return nil, fmt.Errorf("mrg32k3a: seed[%d] must be < %d", i+3, int64(mrgM2))
+		}
+		g.s1[i] = int64(seed[i])
+		g.s2[i] = int64(seed[i+3])
+		z1 = z1 && seed[i] == 0
+		z2 = z2 && seed[i+3] == 0
+	}
+	if z1 || z2 {
+		return nil, fmt.Errorf("mrg32k3a: per-component seeds must not be all zero")
+	}
+	return g, nil
+}
+
+// NewMRG32k3aDefault returns the generator with the canonical 12345 seeds.
+func NewMRG32k3aDefault() *MRG32k3a {
+	g, err := NewMRG32k3a([6]uint32{12345, 12345, 12345, 12345, 12345, 12345})
+	if err != nil {
+		panic(err) // unreachable: the default seed is valid
+	}
+	return g
+}
+
+// next advances both recurrences and returns the combined value in
+// [0, m1).
+func (g *MRG32k3a) next() int64 {
+	// Component 1: p1 = (a12·s1[1] − a13n·s1[0]) mod m1.
+	p1 := (mrgA12*g.s1[1] - mrgA13n*g.s1[0]) % mrgM1
+	if p1 < 0 {
+		p1 += mrgM1
+	}
+	g.s1[0], g.s1[1], g.s1[2] = g.s1[1], g.s1[2], p1
+
+	// Component 2: p2 = (a21·s2[2] − a23n·s2[0]) mod m2.
+	p2 := (mrgA21*g.s2[2] - mrgA23n*g.s2[0]) % mrgM2
+	if p2 < 0 {
+		p2 += mrgM2
+	}
+	g.s2[0], g.s2[1], g.s2[2] = g.s2[1], g.s2[2], p2
+
+	z := (p1 - p2) % mrgM1
+	if z < 0 {
+		z += mrgM1
+	}
+	return z
+}
+
+// Uint32 returns the low 32 bits of the next combined value. (The raw
+// value is uniform on [0, m1); the discarded range is ~209/2^32 — the same
+// convention cuRAND's curand() uses for this generator.)
+func (g *MRG32k3a) Uint32() uint32 { return uint32(g.next()) }
+
+// Float64 returns the canonical uniform double in (0, 1]:
+// (z+1) / (m1+1).
+func (g *MRG32k3a) Float64() float64 {
+	return float64(g.next()+1) * (1.0 / (mrgM1 + 1))
+}

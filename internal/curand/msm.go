@@ -1,0 +1,51 @@
+package curand
+
+// MSM is von Neumann's Middle Square Method — the historical PRNG the
+// paper's §2.1 opens with ("one of the first PRNG methods that use a
+// random seed ... the Middle Square Method"). It is included as the
+// didactic baseline: it degenerates quickly (short cycles, absorbing
+// zero), which the tests demonstrate and which motivates everything that
+// came after it.
+type MSM struct {
+	state uint64 // 8-digit decimal state
+}
+
+// NewMSM seeds the generator with an 8-digit decimal seed.
+func NewMSM(seed uint32) *MSM {
+	return &MSM{state: uint64(seed) % 100000000}
+}
+
+// Next squares the 8-digit state and extracts the middle 8 digits.
+func (m *MSM) Next() uint32 {
+	sq := m.state * m.state // 16 decimal digits
+	m.state = sq / 10000 % 100000000
+	return uint32(m.state)
+}
+
+// MSWS is Widynski's "Middle Square Weyl Sequence" repair of MSM: the
+// square is perturbed by a Weyl sequence, which removes the short cycles.
+// Included as the modern counterpoint to MSM.
+type MSWS struct {
+	x, w, s uint64
+}
+
+// NewMSWS seeds the generator. Widynski's construction needs a Weyl
+// constant that is odd with an irregular bit pattern (small constants
+// like 1 stall the square for millions of steps), so the seed is passed
+// through a SplitMix-style scrambler first.
+func NewMSWS(seed uint64) *MSWS {
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return &MSWS{s: z | 1}
+}
+
+// Uint32 returns the next output word.
+func (m *MSWS) Uint32() uint32 {
+	m.x *= m.x
+	m.w += m.s
+	m.x += m.w
+	m.x = m.x>>32 | m.x<<32
+	return uint32(m.x)
+}

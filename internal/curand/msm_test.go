@@ -1,0 +1,60 @@
+package curand
+
+import "testing"
+
+// The Middle Square Method must degenerate — that is the §2.1 lesson it
+// is here to teach.
+func TestMSMDegenerates(t *testing.T) {
+	m := NewMSM(12345678)
+	seen := map[uint32]int{}
+	for i := 0; i < 100000; i++ {
+		v := m.Next()
+		if first, ok := seen[v]; ok {
+			cycle := i - first
+			if cycle > 100000 {
+				t.Fatalf("unexpectedly long MSM cycle %d", cycle)
+			}
+			return // entered a cycle, as expected
+		}
+		seen[v] = i
+	}
+	t.Fatal("MSM did not cycle within 100k steps — not the historical MSM")
+}
+
+func TestMSMZeroAbsorbing(t *testing.T) {
+	m := NewMSM(0)
+	for i := 0; i < 10; i++ {
+		if m.Next() != 0 {
+			t.Fatal("zero state must be absorbing")
+		}
+	}
+}
+
+// The Weyl-sequence repair must NOT degenerate.
+func TestMSWSNonDegenerate(t *testing.T) {
+	g := NewMSWS(0xB5AD4ECEDA1CE2A9)
+	seen := map[uint32]bool{}
+	for i := 0; i < 1<<16; i++ {
+		seen[g.Uint32()] = true
+	}
+	if len(seen) < 1<<16-64 {
+		t.Fatalf("only %d distinct values in 65536 outputs", len(seen))
+	}
+}
+
+func TestMSWSBalance(t *testing.T) {
+	g := NewMSWS(1) // scrambler must harden even trivial seeds
+	ones := 0
+	const words = 1 << 14
+	for i := 0; i < words; i++ {
+		v := g.Uint32()
+		for ; v != 0; v &= v - 1 {
+			ones++
+		}
+	}
+	mean := float64(words*32) / 2
+	sigma := 362.0
+	if d := float64(ones) - mean; d > 6*sigma || d < -6*sigma {
+		t.Fatalf("MSWS bit bias: %d ones", ones)
+	}
+}

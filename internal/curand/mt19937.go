@@ -1,0 +1,118 @@
+package curand
+
+// MT19937 is the 32-bit Mersenne Twister (Matsumoto & Nishimura 1998),
+// the generator the paper uses as "the default cuRAND method for RNG".
+type MT19937 struct {
+	mt  [624]uint32
+	idx int
+}
+
+const (
+	mtN         = 624
+	mtM         = 397
+	mtMatrixA   = 0x9908B0DF
+	mtUpperMask = 0x80000000
+	mtLowerMask = 0x7FFFFFFF
+)
+
+// NewMT19937 seeds the generator with the reference init_genrand routine.
+func NewMT19937(seed uint32) *MT19937 {
+	m := &MT19937{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed re-initializes the state from a 32-bit seed.
+func (m *MT19937) Seed(seed uint32) {
+	m.mt[0] = seed
+	for i := 1; i < mtN; i++ {
+		m.mt[i] = 1812433253*(m.mt[i-1]^(m.mt[i-1]>>30)) + uint32(i)
+	}
+	m.idx = mtN
+}
+
+// generate refills the state block (the "twist").
+func (m *MT19937) generate() {
+	for i := 0; i < mtN; i++ {
+		y := (m.mt[i] & mtUpperMask) | (m.mt[(i+1)%mtN] & mtLowerMask)
+		next := m.mt[(i+mtM)%mtN] ^ (y >> 1)
+		if y&1 == 1 {
+			next ^= mtMatrixA
+		}
+		m.mt[i] = next
+	}
+	m.idx = 0
+}
+
+// Uint32 returns the next tempered output word.
+func (m *MT19937) Uint32() uint32 {
+	if m.idx >= mtN {
+		m.generate()
+	}
+	y := m.mt[m.idx]
+	m.idx++
+	y ^= y >> 11
+	y ^= (y << 7) & 0x9D2C5680
+	y ^= (y << 15) & 0xEFC60000
+	y ^= y >> 18
+	return y
+}
+
+// MT19937_64 is the 64-bit Mersenne Twister variant.
+type MT19937_64 struct {
+	mt  [312]uint64
+	idx int
+}
+
+const (
+	mt64N         = 312
+	mt64M         = 156
+	mt64MatrixA   = 0xB5026F5AA96619E9
+	mt64UpperMask = 0xFFFFFFFF80000000
+	mt64LowerMask = 0x000000007FFFFFFF
+)
+
+// NewMT19937_64 seeds the generator with the reference init_genrand64.
+func NewMT19937_64(seed uint64) *MT19937_64 {
+	m := &MT19937_64{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed re-initializes the state from a 64-bit seed.
+func (m *MT19937_64) Seed(seed uint64) {
+	m.mt[0] = seed
+	for i := 1; i < mt64N; i++ {
+		m.mt[i] = 6364136223846793005*(m.mt[i-1]^(m.mt[i-1]>>62)) + uint64(i)
+	}
+	m.idx = mt64N
+}
+
+func (m *MT19937_64) generate() {
+	for i := 0; i < mt64N; i++ {
+		y := (m.mt[i] & mt64UpperMask) | (m.mt[(i+1)%mt64N] & mt64LowerMask)
+		next := m.mt[(i+mt64M)%mt64N] ^ (y >> 1)
+		if y&1 == 1 {
+			next ^= mt64MatrixA
+		}
+		m.mt[i] = next
+	}
+	m.idx = 0
+}
+
+// Uint64 returns the next tempered output word.
+func (m *MT19937_64) Uint64() uint64 {
+	if m.idx >= mt64N {
+		m.generate()
+	}
+	y := m.mt[m.idx]
+	m.idx++
+	y ^= (y >> 29) & 0x5555555555555555
+	y ^= (y << 17) & 0x71D67FFFEDA60000
+	y ^= (y << 37) & 0xFFF7EEE000000000
+	y ^= y >> 43
+	return y
+}
+
+// Uint32 truncates Uint64, satisfying Source32.
+func (m *MT19937_64) Uint32() uint32 { return uint32(m.Uint64()) }

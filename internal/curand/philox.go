@@ -1,0 +1,70 @@
+package curand
+
+import "math/bits"
+
+// Philox4x32 is the counter-based Philox4x32-10 generator (Salmon,
+// Moraes, Dror, Shaw — "Parallel random numbers: as easy as 1, 2, 3",
+// SC'11), the remaining member of the cuRAND family. Being counter-based
+// it is trivially parallel: any 128-bit counter value can be generated
+// independently, which is why it is a natural GPU generator and a useful
+// contrast to the paper's stateful stream ciphers.
+type Philox4x32 struct {
+	key  [2]uint32
+	ctr  [4]uint32
+	out  [4]uint32
+	used int
+}
+
+// Philox multiplication and Weyl constants.
+const (
+	philoxM0 = 0xD2511F53
+	philoxM1 = 0xCD9E8D57
+	philoxW0 = 0x9E3779B9
+	philoxW1 = 0xBB67AE85
+)
+
+// NewPhilox4x32 builds the generator from a 64-bit key; the counter
+// starts at zero.
+func NewPhilox4x32(key uint64) *Philox4x32 {
+	return &Philox4x32{key: [2]uint32{uint32(key), uint32(key >> 32)}, used: 4}
+}
+
+// Block computes the 10-round Philox block function for an explicit
+// counter and key — the pure, stateless core.
+func Block(ctr [4]uint32, key [2]uint32) [4]uint32 {
+	k0, k1 := key[0], key[1]
+	x := ctr
+	for r := 0; r < 10; r++ {
+		hi0, lo0 := bits.Mul32(philoxM0, x[0])
+		hi1, lo1 := bits.Mul32(philoxM1, x[2])
+		x = [4]uint32{hi1 ^ x[1] ^ k0, lo1, hi0 ^ x[3] ^ k1, lo0}
+		k0 += philoxW0
+		k1 += philoxW1
+	}
+	return x
+}
+
+// Skip advances the counter by n blocks without generating output — the
+// O(1) stream-splitting operation counter-based generators offer.
+func (p *Philox4x32) Skip(n uint64) {
+	lo := uint64(p.ctr[0]) | uint64(p.ctr[1])<<32
+	nlo := lo + n
+	p.ctr[0], p.ctr[1] = uint32(nlo), uint32(nlo>>32)
+	if nlo < lo { // carry into the high half
+		hi := (uint64(p.ctr[2]) | uint64(p.ctr[3])<<32) + 1
+		p.ctr[2], p.ctr[3] = uint32(hi), uint32(hi>>32)
+	}
+	p.used = 4
+}
+
+// Uint32 returns the next output word.
+func (p *Philox4x32) Uint32() uint32 {
+	if p.used == 4 {
+		p.out = Block(p.ctr, p.key)
+		p.Skip(1)
+		p.used = 0
+	}
+	v := p.out[p.used]
+	p.used++
+	return v
+}

@@ -1,0 +1,42 @@
+package curand
+
+// XORWOW is Marsaglia's xorwow generator ("Xorshift RNGs", 2003): a
+// five-word xorshift sequence summed with a Weyl counter. It is cuRAND's
+// default pseudo-random generator type.
+type XORWOW struct {
+	x, y, z, w, v uint32
+	d             uint32
+}
+
+// weyl is the Weyl-sequence increment from Marsaglia's paper.
+const weyl = 362437
+
+// NewXORWOW seeds the generator; a SplitMix-style scrambler expands the
+// single word into the five state words so that nearby seeds give
+// uncorrelated states (the role cuRAND's curand_init plays).
+func NewXORWOW(seed uint64) *XORWOW {
+	g := &XORWOW{}
+	s := seed
+	next := func() uint32 {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return uint32(z ^ (z >> 31))
+	}
+	g.x, g.y, g.z, g.w, g.v = next(), next(), next(), next(), next()
+	if g.x|g.y|g.z|g.w|g.v == 0 {
+		g.x = 1 // the all-zero xorshift state is absorbing
+	}
+	g.d = next()
+	return g
+}
+
+// Uint32 returns the next output word.
+func (g *XORWOW) Uint32() uint32 {
+	t := g.x ^ (g.x >> 2)
+	g.x, g.y, g.z, g.w = g.y, g.z, g.w, g.v
+	g.v = (g.v ^ (g.v << 4)) ^ (t ^ (t << 1))
+	g.d += weyl
+	return g.d + g.v
+}

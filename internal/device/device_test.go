@@ -1,0 +1,201 @@
+package device
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDeviceTableMatchesPaper(t *testing.T) {
+	if len(Devices) != 6 {
+		t.Fatalf("Table 2 has 6 GPUs, got %d", len(Devices))
+	}
+	v100, ok := DeviceByName("Tesla V100")
+	if !ok || v100.SPGflops != 14028 || v100.MemBWGBs != 900 {
+		t.Errorf("V100 row wrong: %+v", v100)
+	}
+	if _, ok := DeviceByName("nope"); ok {
+		t.Error("unknown device found")
+	}
+}
+
+func TestTable1Normalization(t *testing.T) {
+	// The paper's own normalized column, e.g. xorgensGP: 527.5/1344.96 =
+	// 0.3922.
+	for _, w := range PriorWorks {
+		if w.Method == "xorgensGP" {
+			if math.Abs(w.Normalized()-0.3922) > 1e-4 {
+				t.Errorf("xorgensGP normalized %.4f, want 0.3922", w.Normalized())
+			}
+		}
+		if w.Method == "RapidMind" && math.Abs(w.Normalized()-0.0752) > 1e-4 {
+			t.Errorf("RapidMind normalized %.4f, want 0.0752", w.Normalized())
+		}
+	}
+}
+
+// Headline anchor: the calibrated model must reproduce the paper's
+// numbers within a few percent — 2.72 Tb/s MICKEY on the 2080 Ti,
+// 2.90 Tb/s on the V100, and cuRAND ~40% lower on the 2080 Ti.
+func TestCalibratedAnchors(t *testing.T) {
+	mickey, err := ProfileByName(CalibratedProfiles, "MICKEY 2.0 (bitsliced)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	curand, err := ProfileByName(CalibratedProfiles, "cuRAND (MT19937)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti2080, _ := DeviceByName("GTX 2080 Ti")
+	v100, _ := DeviceByName("Tesla V100")
+
+	if got := mickey.Throughput(ti2080); math.Abs(got-2720)/2720 > 0.12 {
+		t.Errorf("MICKEY on 2080 Ti: %.0f Gbps, paper 2720", got)
+	}
+	if got := mickey.Throughput(v100); math.Abs(got-2900)/2900 > 0.12 {
+		t.Errorf("MICKEY on V100: %.0f Gbps, paper 2900", got)
+	}
+	ratio := mickey.Throughput(ti2080) / curand.Throughput(ti2080)
+	if ratio < 1.25 || ratio > 1.75 {
+		t.Errorf("MICKEY/cuRAND on 2080 Ti = %.2f, paper ≈ 1.4", ratio)
+	}
+}
+
+// Shape assertions for Figure 10: MICKEY wins on every device, AES is the
+// slowest bitsliced kernel, and cuRAND never beats MICKEY.
+func TestFig10Shape(t *testing.T) {
+	rows := Fig10(CalibratedProfiles)
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Fastest != "MICKEY 2.0 (bitsliced)" {
+			t.Errorf("%s: fastest is %s, want MICKEY", r.Device, r.Fastest)
+		}
+		if r.Gbps["AES-128 CTR (bitsliced)"] >= r.Gbps["Grain v1 (bitsliced)"] {
+			t.Errorf("%s: AES should trail Grain", r.Device)
+		}
+		if r.Gbps["cuRAND (MT19937)"] >= r.Gbps["MICKEY 2.0 (bitsliced)"] {
+			t.Errorf("%s: cuRAND should trail MICKEY", r.Device)
+		}
+	}
+}
+
+// Throughput must be monotone in device capability for compute-bound
+// kernels.
+func TestThroughputMonotonicity(t *testing.T) {
+	k := KernelProfile{Name: "x", OpsPerBit: 30, ALUEff: 0.8, MemEff: 0.9}
+	gtx1050, _ := DeviceByName("GTX 1050 Ti")
+	v100, _ := DeviceByName("Tesla V100")
+	if k.Throughput(gtx1050) >= k.Throughput(v100) {
+		t.Error("more GFLOPS must not reduce compute-bound throughput")
+	}
+}
+
+func TestMemoryRoof(t *testing.T) {
+	// A near-zero-cost kernel must hit the memory roof, not scale with
+	// GFLOPS.
+	k := KernelProfile{Name: "x", OpsPerBit: 0.01, ALUEff: 1, MemEff: 0.5}
+	d := Spec{Name: "d", SPGflops: 100000, MemBWGBs: 100}
+	want := 100.0 * 8 * 0.5 // Gbit/s
+	if got := k.Throughput(d); math.Abs(got-want) > 1e-9 {
+		t.Errorf("memory roof %.1f, want %.1f", got, want)
+	}
+}
+
+// §5.4: two devices reach ~1.92×, and efficiency declines at 4 and 8.
+func TestMultiDeviceScaling(t *testing.T) {
+	s := DefaultScaling
+	if sp := s.Speedup(1); sp != 1 {
+		t.Errorf("speedup(1) = %v", sp)
+	}
+	sp2 := s.Speedup(2)
+	if math.Abs(sp2-1.92) > 0.02 {
+		t.Errorf("speedup(2) = %.3f, paper 1.92", sp2)
+	}
+	sp4, sp8 := s.Speedup(4), s.Speedup(8)
+	if !(sp4 > sp2 && sp8 > sp4) {
+		t.Error("aggregate speedup should still grow with devices")
+	}
+	if !(sp4/4 < sp2/2 && sp8/8 < sp4/4) {
+		t.Error("efficiency must decline at 4 and 8 devices (paper §5.4)")
+	}
+	if s.Speedup(0) != 0 {
+		t.Error("speedup(0)")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	mickey, _ := ProfileByName(CalibratedProfiles, "MICKEY 2.0 (bitsliced)")
+	ti1080, _ := DeviceByName("GTX 1080 Ti")
+	one := DefaultScaling.Aggregate(mickey, ti1080, 1)
+	two := DefaultScaling.Aggregate(mickey, ti1080, 2)
+	if math.Abs(two/one-1.92) > 0.02 {
+		t.Errorf("2-device aggregate ratio %.3f, want 1.92", two/one)
+	}
+}
+
+func TestAnalyticProfilesOrdering(t *testing.T) {
+	// The analytic (measured-cost) profiles tell the honest CPU story:
+	// Grain is the cheapest per bit, and every bitsliced kernel sustains
+	// better ALU efficiency than cuRAND-MT.
+	grain, _ := ProfileByName(AnalyticProfiles, "Grain v1 (bitsliced)")
+	mickey, _ := ProfileByName(AnalyticProfiles, "MICKEY 2.0 (bitsliced)")
+	aes, _ := ProfileByName(AnalyticProfiles, "AES-128 CTR (bitsliced)")
+	if !(grain.OpsPerBit < aes.OpsPerBit && grain.OpsPerBit < mickey.OpsPerBit) {
+		t.Error("Grain must be the cheapest analytic kernel")
+	}
+	v100, _ := DeviceByName("Tesla V100")
+	cur, _ := ProfileByName(AnalyticProfiles, "cuRAND (MT19937)")
+	if cur.Throughput(v100) >= grain.Throughput(v100) {
+		t.Error("analytic cuRAND should trail bitsliced Grain")
+	}
+}
+
+func TestProfileByNameError(t *testing.T) {
+	if _, err := ProfileByName(CalibratedProfiles, "missing"); err == nil {
+		t.Error("missing profile found")
+	}
+}
+
+func TestFig11IncludesPriorWorksAndSorts(t *testing.T) {
+	rows := Fig11(CalibratedProfiles)
+	if len(rows) != len(CalibratedProfiles)+len(PriorWorks) {
+		t.Fatalf("row count %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Normalized > rows[i-1].Normalized {
+			t.Fatal("Fig11 rows not sorted descending")
+		}
+	}
+	prior := 0
+	for _, r := range rows {
+		if r.Prior {
+			prior++
+		}
+	}
+	if prior != len(PriorWorks) {
+		t.Errorf("prior rows %d", prior)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if !strings.Contains(FormatTable1(), "xorgensGP") {
+		t.Error("table1 missing xorgensGP")
+	}
+	if !strings.Contains(FormatTable2(), "Tesla V100") {
+		t.Error("table2 missing V100")
+	}
+	if !strings.Contains(FormatFig10(CalibratedProfiles), "GTX 2080 Ti") {
+		t.Error("fig10 missing 2080 Ti")
+	}
+	if !strings.Contains(FormatFig11(CalibratedProfiles), "prior work") {
+		t.Error("fig11 missing prior works")
+	}
+	mickey, _ := ProfileByName(CalibratedProfiles, "MICKEY 2.0 (bitsliced)")
+	ti1080, _ := DeviceByName("GTX 1080 Ti")
+	out := FormatScaling(mickey, ti1080, []int{1, 2, 4, 8})
+	if !strings.Contains(out, "1.92") {
+		t.Errorf("scaling table missing the 1.92 anchor:\n%s", out)
+	}
+}

@@ -1,0 +1,65 @@
+// Package device models the GPU platforms of the paper's evaluation
+// (§5.1, Table 2) and projects kernel throughput onto them.
+//
+// This repository runs on CPUs, so the six CUDA devices are replaced by an
+// analytic roofline model (see DESIGN.md §2): a kernel is characterized by
+// its word-operation cost per output bit (measured from the real bitsliced
+// engines in this repo, or calibrated to the paper's anchors), and a
+// device by its arithmetic throughput and memory bandwidth (Table 2). The
+// projected throughput is the smaller of the compute and memory roofs.
+// The model reproduces the shape of Figures 10 and 11 and the §5.4
+// multi-GPU scaling.
+package device
+
+// Spec describes one GPU platform (paper Table 2).
+type Spec struct {
+	Name     string
+	SPGflops float64 // single-precision GFLOP/s
+	DPGflops float64 // double-precision GFLOP/s
+	MemBWGBs float64 // memory bandwidth, GB/s
+}
+
+// Devices is the paper's Table 2.
+var Devices = []Spec{
+	{"GTX 480", 1344, 168, 177},
+	{"GTX 980 Ti", 5632, 176, 337},
+	{"GTX 1050 Ti", 1981, 62, 112},
+	{"GTX 1080 Ti", 10609, 332, 484},
+	{"Tesla V100", 14028, 7014, 900},
+	{"GTX 2080 Ti", 11750, 367, 616},
+}
+
+// DeviceByName returns the named Table 2 entry.
+func DeviceByName(name string) (Spec, bool) {
+	for _, d := range Devices {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Spec{}, false
+}
+
+// PriorWork is one row of the paper's Table 1: previously proposed GPU
+// PRNG implementations with their claimed throughput.
+type PriorWork struct {
+	Ref    string
+	Year   int
+	GPU    string
+	GFLOPS float64
+	Method string
+	Gbps   float64
+}
+
+// PriorWorks is the paper's Table 1.
+var PriorWorks = []PriorWork{
+	{"[20]", 2008, "8800 GTX", 345.6, "RapidMind", 26},
+	{"[33]", 2008, "7800 GTX", 20.6, "CA-PRNG", 0.41},
+	{"[21]", 2009, "T10P", 622.1, "ParkMiller", 35},
+	{"[12]", 2010, "S1070", 2488.3, "MCNP", 4.98},
+	{"[31]", 2011, "GTX 480", 1344.96, "xorgensGP", 527.5},
+	{"[10]", 2013, "GTX 480", 1344.96, "GASPRNG", 37.4},
+}
+
+// Normalized returns the work's throughput per processing power
+// (Gbps/GFLOPS), the paper's Table 1 last column.
+func (w PriorWork) Normalized() float64 { return w.Gbps / w.GFLOPS }

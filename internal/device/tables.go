@@ -1,0 +1,134 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fig10Row is one device's projected throughput for the four kernels of
+// the paper's Figure 10.
+type Fig10Row struct {
+	Device  string
+	Gbps    map[string]float64 // kernel name → Gbit/s
+	Fastest string
+}
+
+// Fig10 projects every kernel of the profile set onto every Table 2
+// device — the data behind the paper's Figure 10.
+func Fig10(profiles []KernelProfile) []Fig10Row {
+	rows := make([]Fig10Row, 0, len(Devices))
+	for _, d := range Devices {
+		row := Fig10Row{Device: d.Name, Gbps: map[string]float64{}}
+		best := ""
+		bestV := -1.0
+		for _, p := range profiles {
+			v := p.Throughput(d)
+			row.Gbps[p.Name] = v
+			if v > bestV {
+				bestV, best = v, p.Name
+			}
+		}
+		row.Fastest = best
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig11Row is one entry of the normalized (Gbps/GFLOPS) comparison of the
+// paper's Figure 11: our kernels on their best device alongside the prior
+// works of Table 1.
+type Fig11Row struct {
+	Label      string
+	Normalized float64
+	Prior      bool
+}
+
+// Fig11 builds the Figure 11 comparison using the kernels' V100
+// projection (the paper's best platform) and the Table 1 prior works.
+func Fig11(profiles []KernelProfile) []Fig11Row {
+	v100, _ := DeviceByName("Tesla V100")
+	rows := make([]Fig11Row, 0, len(profiles)+len(PriorWorks))
+	for _, p := range profiles {
+		rows = append(rows, Fig11Row{Label: p.Name, Normalized: p.Normalized(v100)})
+	}
+	for _, w := range PriorWorks {
+		rows = append(rows, Fig11Row{
+			Label:      fmt.Sprintf("%s %s (%d)", w.Method, w.Ref, w.Year),
+			Normalized: w.Normalized(),
+			Prior:      true,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Normalized > rows[j].Normalized })
+	return rows
+}
+
+// FormatTable1 renders the paper's Table 1 with the recomputed
+// normalization column.
+func FormatTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-5s %-10s %-9s %-10s %-8s %s\n",
+		"Ref", "Year", "GPU", "GFLOPS", "Method", "Gbps", "Gbps/GFLOPS")
+	for _, w := range PriorWorks {
+		fmt.Fprintf(&b, "%-5s %-5d %-10s %-9.1f %-10s %-8.2f %.4f\n",
+			w.Ref, w.Year, w.GPU, w.GFLOPS, w.Method, w.Gbps, w.Normalized())
+	}
+	return b.String()
+}
+
+// FormatTable2 renders the paper's Table 2.
+func FormatTable2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-12s %-12s %s\n", "GPU", "SP GFLOPS", "DP GFLOPS", "Mem BW GB/s")
+	for _, d := range Devices {
+		fmt.Fprintf(&b, "%-12s %-12.0f %-12.0f %.0f\n", d.Name, d.SPGflops, d.DPGflops, d.MemBWGBs)
+	}
+	return b.String()
+}
+
+// FormatFig10 renders the Figure 10 projection as a text table.
+func FormatFig10(profiles []KernelProfile) string {
+	rows := Fig10(profiles)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "GPU")
+	for _, p := range profiles {
+		fmt.Fprintf(&b, " %24s", p.Name)
+	}
+	fmt.Fprintln(&b)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s", r.Device)
+		for _, p := range profiles {
+			fmt.Fprintf(&b, " %21.1f Gb", r.Gbps[p.Name])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatFig11 renders the Figure 11 normalized comparison.
+func FormatFig11(profiles []KernelProfile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %-14s %s\n", "Method", "Gbps/GFLOPS", "Source")
+	for _, r := range Fig11(profiles) {
+		src := "this work"
+		if r.Prior {
+			src = "prior work"
+		}
+		fmt.Fprintf(&b, "%-34s %-14.4f %s\n", r.Label, r.Normalized, src)
+	}
+	return b.String()
+}
+
+// FormatScaling renders the §5.4 multi-device projection for a kernel on
+// a device.
+func FormatScaling(k KernelProfile, d Spec, counts []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "multi-GPU scaling of %s on %s\n", k.Name, d.Name)
+	fmt.Fprintf(&b, "%-8s %-12s %-10s %s\n", "GPUs", "Gbit/s", "speedup", "efficiency")
+	for _, n := range counts {
+		sp := DefaultScaling.Speedup(n)
+		fmt.Fprintf(&b, "%-8d %-12.1f %-10.2f %.0f%%\n",
+			n, DefaultScaling.Aggregate(k, d, n), sp, 100*sp/float64(n))
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+// Package grain implements the Grain v1 stream cipher (Hell, Johansson,
+// Meier — eSTREAM Profile 2) in a specification-clarity reference form and
+// the bitsliced 64-lane form of the paper's §4 (Fig. 4 shows the cipher's
+// LFSR+NFSR structure).
+//
+// Grain v1: an 80-bit LFSR and an 80-bit NFSR clocked together; the filter
+// h(x) taps both registers; initialization runs 160 clocks with the output
+// fed back into both registers. Key and IV bits are loaded MSB-first
+// within bytes (the same convention as this repo's MICKEY module); official
+// eSTREAM known-answer vectors are unavailable offline, so conformance is
+// established by reference ↔ bitsliced cross-validation plus statistical
+// testing (see DESIGN.md §2).
+package grain
+
+import "fmt"
+
+// KeySize is the Grain v1 key length in bytes (80 bits).
+const KeySize = 10
+
+// IVSize is the Grain v1 initialization-vector length in bytes (64 bits).
+const IVSize = 8
+
+// regBits is the length of each register.
+const regBits = 80
+
+// initClocks is the number of initialization clocks mandated by the spec.
+const initClocks = 160
+
+// Ref is the one-byte-per-bit reference implementation.
+type Ref struct {
+	s [regBits]uint8 // LFSR
+	b [regBits]uint8 // NFSR
+}
+
+// NewRef returns a keyed Grain v1 instance.
+func NewRef(key, iv []byte) (*Ref, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("grain: key must be %d bytes", KeySize)
+	}
+	if len(iv) != IVSize {
+		return nil, fmt.Errorf("grain: iv must be %d bytes", IVSize)
+	}
+	g := &Ref{}
+	for i := 0; i < regBits; i++ {
+		g.b[i] = bitOf(key, i)
+	}
+	for i := 0; i < 64; i++ {
+		g.s[i] = bitOf(iv, i)
+	}
+	for i := 64; i < regBits; i++ {
+		g.s[i] = 1
+	}
+	for i := 0; i < initClocks; i++ {
+		z := g.outputBit()
+		g.clock(z, z)
+	}
+	return g, nil
+}
+
+// bitOf extracts bit i MSB-first within bytes.
+func bitOf(p []byte, i int) uint8 {
+	return (p[i>>3] >> uint(7-i&7)) & 1
+}
+
+// lfsrFeedback computes s[t+80] = s62+s51+s38+s23+s13+s0.
+func (g *Ref) lfsrFeedback() uint8 {
+	return g.s[62] ^ g.s[51] ^ g.s[38] ^ g.s[23] ^ g.s[13] ^ g.s[0]
+}
+
+// nfsrFeedback computes b[t+80] = s0 + g(b...), the spec's nonlinear
+// feedback with the LFSR masking bit.
+func (g *Ref) nfsrFeedback() uint8 {
+	b := &g.b
+	lin := b[62] ^ b[60] ^ b[52] ^ b[45] ^ b[37] ^ b[33] ^ b[28] ^ b[21] ^ b[14] ^ b[9] ^ b[0]
+	nl := b[63]&b[60] ^ b[37]&b[33] ^ b[15]&b[9] ^
+		b[60]&b[52]&b[45] ^ b[33]&b[28]&b[21] ^
+		b[63]&b[45]&b[28]&b[9] ^ b[60]&b[52]&b[37]&b[33] ^ b[63]&b[60]&b[21]&b[15] ^
+		b[63]&b[60]&b[52]&b[45]&b[37] ^ b[33]&b[28]&b[21]&b[15]&b[9] ^
+		b[52]&b[45]&b[37]&b[33]&b[28]&b[21]
+	return g.s[0] ^ lin ^ nl
+}
+
+// outputBit computes z = Σ_{k∈A} b_k + h(s3, s25, s46, s64, b63),
+// A = {1, 2, 4, 10, 31, 43, 56}.
+func (g *Ref) outputBit() uint8 {
+	x0, x1, x2, x3, x4 := g.s[3], g.s[25], g.s[46], g.s[64], g.b[63]
+	h := x1 ^ x4 ^ x0&x3 ^ x2&x3 ^ x3&x4 ^
+		x0&x1&x2 ^ x0&x2&x3 ^ x0&x2&x4 ^ x1&x2&x4 ^ x2&x3&x4
+	a := g.b[1] ^ g.b[2] ^ g.b[4] ^ g.b[10] ^ g.b[31] ^ g.b[43] ^ g.b[56]
+	return a ^ h
+}
+
+// clock shifts both registers, XORing fbS/fbB (the initialization
+// feedback of the output bit; zero in keystream mode) into the new bits.
+func (g *Ref) clock(fbS, fbB uint8) {
+	ns := g.lfsrFeedback() ^ fbS
+	nb := g.nfsrFeedback() ^ fbB
+	copy(g.s[:], g.s[1:])
+	copy(g.b[:], g.b[1:])
+	g.s[regBits-1] = ns
+	g.b[regBits-1] = nb
+}
+
+// KeystreamBit emits the next keystream bit.
+func (g *Ref) KeystreamBit() uint8 {
+	z := g.outputBit()
+	g.clock(0, 0)
+	return z
+}
+
+// Keystream fills dst with keystream bytes, bits packed MSB-first.
+func (g *Ref) Keystream(dst []byte) {
+	for i := range dst {
+		var by byte
+		for j := 7; j >= 0; j-- {
+			by |= g.KeystreamBit() << uint(j)
+		}
+		dst[i] = by
+	}
+}

@@ -1,0 +1,154 @@
+package grain
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitslice"
+)
+
+// window is the number of clocks run between buffer rebases. Instead of
+// shifting 160 planes every clock (the naive cost the paper's §4.3
+// eliminates), the bitsliced engine appends each new state plane after the
+// live window and slides the window origin; one bulk copy per 64 clocks
+// rebases the buffers.
+const window = 64
+
+// Sliced is the bitsliced 64-lane Grain v1 engine: one uint64 plane per
+// register bit, 64 independent cipher instances per word, all register
+// shifts replaced by index renaming.
+type Sliced struct {
+	s, b  []uint64 // plane buffers of length regBits+window
+	pos   int      // window origin: state bit i of the current clock is s[pos+i]
+	lanes int
+}
+
+// NewSliced builds a 64-lane (or fewer) engine; keys[L]/ivs[L] belong to
+// lane L. Initialization runs the spec's 160 feedback clocks for all lanes
+// in lock-step.
+func NewSliced(keys, ivs [][]byte) (*Sliced, error) {
+	lanes := len(keys)
+	if lanes == 0 || lanes > bitslice.W {
+		return nil, fmt.Errorf("grain: lane count %d out of range [1,64]", lanes)
+	}
+	if len(ivs) != lanes {
+		return nil, fmt.Errorf("grain: %d keys but %d ivs", lanes, len(ivs))
+	}
+	g := &Sliced{
+		s:     make([]uint64, regBits+window),
+		b:     make([]uint64, regBits+window),
+		lanes: lanes,
+	}
+	for l := 0; l < lanes; l++ {
+		if len(keys[l]) != KeySize {
+			return nil, fmt.Errorf("grain: lane %d key must be %d bytes", l, KeySize)
+		}
+		if len(ivs[l]) != IVSize {
+			return nil, fmt.Errorf("grain: lane %d iv must be %d bytes", l, IVSize)
+		}
+		for i := 0; i < regBits; i++ {
+			bitslice.SetLaneBit(g.b, i, l, bitOf(keys[l], i))
+		}
+		for i := 0; i < 64; i++ {
+			bitslice.SetLaneBit(g.s, i, l, bitOf(ivs[l], i))
+		}
+		for i := 64; i < regBits; i++ {
+			bitslice.SetLaneBit(g.s, i, l, 1)
+		}
+	}
+	for i := 0; i < initClocks; i++ {
+		z := g.outputWord()
+		g.clock(z, z)
+	}
+	return g, nil
+}
+
+// Lanes returns the number of active lanes.
+func (g *Sliced) Lanes() int { return g.lanes }
+
+func (g *Sliced) outputWord() uint64 {
+	s := g.s[g.pos:]
+	b := g.b[g.pos:]
+	x0, x1, x2, x3, x4 := s[3], s[25], s[46], s[64], b[63]
+	h := x1 ^ x4 ^ x0&x3 ^ x2&x3 ^ x3&x4 ^
+		x0&x1&x2 ^ x0&x2&x3 ^ x0&x2&x4 ^ x1&x2&x4 ^ x2&x3&x4
+	a := b[1] ^ b[2] ^ b[4] ^ b[10] ^ b[31] ^ b[43] ^ b[56]
+	return a ^ h
+}
+
+// clock advances all lanes one step, XORing the feedback words into the
+// new planes (used during initialization; zero words in keystream mode).
+func (g *Sliced) clock(fbS, fbB uint64) {
+	s := g.s[g.pos:]
+	b := g.b[g.pos:]
+	ns := s[62] ^ s[51] ^ s[38] ^ s[23] ^ s[13] ^ s[0] ^ fbS
+	lin := b[62] ^ b[60] ^ b[52] ^ b[45] ^ b[37] ^ b[33] ^ b[28] ^ b[21] ^ b[14] ^ b[9] ^ b[0]
+	nl := b[63]&b[60] ^ b[37]&b[33] ^ b[15]&b[9] ^
+		b[60]&b[52]&b[45] ^ b[33]&b[28]&b[21] ^
+		b[63]&b[45]&b[28]&b[9] ^ b[60]&b[52]&b[37]&b[33] ^ b[63]&b[60]&b[21]&b[15] ^
+		b[63]&b[60]&b[52]&b[45]&b[37] ^ b[33]&b[28]&b[21]&b[15]&b[9] ^
+		b[52]&b[45]&b[37]&b[33]&b[28]&b[21]
+	nb := s[0] ^ lin ^ nl ^ fbB
+
+	g.s[g.pos+regBits] = ns
+	g.b[g.pos+regBits] = nb
+	g.pos++
+	if g.pos == window {
+		copy(g.s[:regBits], g.s[window:])
+		copy(g.b[:regBits], g.b[window:])
+		g.pos = 0
+	}
+}
+
+// ClockWord emits one keystream word (bit L = lane L's next bit) and
+// advances the generator.
+func (g *Sliced) ClockWord() uint64 {
+	z := g.outputWord()
+	g.clock(0, 0)
+	return z
+}
+
+// KeystreamBlock runs 64 clocks and transposes so that out[L], written
+// little-endian, is 8 keystream bytes of lane L with MSB-first bit packing
+// (byte-compatible with Ref.Keystream).
+func (g *Sliced) KeystreamBlock(out *[64]uint64) {
+	for t := 0; t < 64; t++ {
+		out[(t&^7)|(7-t&7)] = g.ClockWord()
+	}
+	bitslice.Transpose64(out)
+}
+
+// Keystream fills one equal-length buffer per lane with that lane's
+// keystream bytes; lengths must be equal multiples of 8.
+func (g *Sliced) Keystream(bufs [][]byte) error {
+	if len(bufs) != g.lanes {
+		return fmt.Errorf("grain: %d buffers for %d lanes", len(bufs), g.lanes)
+	}
+	if len(bufs) == 0 {
+		return nil
+	}
+	n := len(bufs[0])
+	for _, b := range bufs {
+		if len(b) != n {
+			return fmt.Errorf("grain: ragged keystream buffers")
+		}
+	}
+	if n%8 != 0 {
+		return fmt.Errorf("grain: buffer length must be a multiple of 8")
+	}
+	var blk [64]uint64
+	for off := 0; off < n; off += 8 {
+		g.KeystreamBlock(&blk)
+		for l := 0; l < g.lanes; l++ {
+			binary.LittleEndian.PutUint64(bufs[l][off:off+8], blk[l])
+		}
+	}
+	return nil
+}
+
+// KeystreamWords fills dst with raw device-order keystream words.
+func (g *Sliced) KeystreamWords(dst []uint64) {
+	for i := range dst {
+		dst[i] = g.ClockWord()
+	}
+}

@@ -1,0 +1,180 @@
+// Package lfsr implements linear feedback shift registers in both the
+// conventional row-major form (paper Fig. 1 and Fig. 7: one register image
+// per instance, shift-and-mask per clock) and the bitsliced column-major
+// form (paper Fig. 8: one plane per state bit, W instances per plane,
+// shifts replaced by register renaming).
+//
+// Throughout the package an LFSR of degree n is described by its feedback
+// exponent set E: the recurrence is
+//
+//	s[t+n] = XOR over e in E of s[t+e]
+//
+// which corresponds to the characteristic polynomial
+// p(x) = x^n + Σ_{e∈E} x^e over GF(2). For a maximal-length (period 2^n-1)
+// register, p must be primitive; see Primitive for a table of known
+// primitive polynomials.
+package lfsr
+
+import "fmt"
+
+// Fibonacci is a conventional (naive) Fibonacci-configuration LFSR of
+// degree n ≤ 64. State bit 0 is the output end; each Clock shifts the
+// register right by one and inserts the feedback bit at position n-1,
+// exactly the shift-and-mask pattern the paper's Fig. 1 describes.
+type Fibonacci struct {
+	n     uint
+	mask  uint64 // feedback tap mask (bits at exponents E)
+	state uint64
+}
+
+// NewFibonacci builds a Fibonacci LFSR with the given degree and feedback
+// exponents. The initial state must be non-zero (the all-zero state is the
+// fixed point of any linear register).
+func NewFibonacci(n uint, exps []uint, state uint64) (*Fibonacci, error) {
+	mask, err := tapMask(n, exps)
+	if err != nil {
+		return nil, err
+	}
+	if n < 64 {
+		state &= (1 << n) - 1
+	}
+	if state == 0 {
+		return nil, fmt.Errorf("lfsr: zero initial state")
+	}
+	return &Fibonacci{n: n, mask: mask, state: state}, nil
+}
+
+// Clock advances the register one step and returns the output bit.
+func (l *Fibonacci) Clock() uint8 {
+	out := uint8(l.state & 1)
+	fb := parity(l.state & l.mask)
+	l.state = (l.state >> 1) | fb<<(l.n-1)
+	return out
+}
+
+// State returns the current register image (bit i = state bit i).
+func (l *Fibonacci) State() uint64 { return l.state }
+
+// Degree returns n.
+func (l *Fibonacci) Degree() uint { return l.n }
+
+// Galois is the Galois (one's-complement) configuration of the same
+// recurrence: the feedback bit is XORed into the taps as the register
+// shifts. It generates the same maximal sequence (with a phase/state
+// mapping difference) and costs one shift, one mask and one conditional
+// XOR per clock.
+type Galois struct {
+	n     uint
+	mask  uint64 // Galois tap mask
+	state uint64
+}
+
+// NewGalois builds a Galois LFSR from the same exponent description used
+// by NewFibonacci. The Galois mask is derived from the reciprocal tap
+// positions so that the produced sequence satisfies the same recurrence.
+func NewGalois(n uint, exps []uint, state uint64) (*Galois, error) {
+	fib, err := tapMask(n, exps)
+	if err != nil {
+		return nil, err
+	}
+	// In the Galois form (shift right, output at bit 0, mask XORed in when
+	// the output bit is 1), the produced sequence satisfies
+	// z[t+n] = Σ g[n-1-i]·z[t+i], so tap exponent e maps to mask bit n-1-e.
+	var gal uint64
+	for e := uint(0); e < n; e++ {
+		if fib&(1<<e) != 0 {
+			gal |= 1 << (n - 1 - e)
+		}
+	}
+	if n < 64 {
+		state &= (1 << n) - 1
+	}
+	if state == 0 {
+		return nil, fmt.Errorf("lfsr: zero initial state")
+	}
+	return &Galois{n: n, mask: gal, state: state}, nil
+}
+
+// Clock advances the register one step and returns the output bit.
+func (l *Galois) Clock() uint8 {
+	out := l.state & 1
+	l.state >>= 1
+	if out == 1 {
+		l.state ^= l.mask
+	}
+	return uint8(out)
+}
+
+// State returns the current register image.
+func (l *Galois) State() uint64 { return l.state }
+
+func tapMask(n uint, exps []uint) (uint64, error) {
+	if n == 0 || n > 64 {
+		return 0, fmt.Errorf("lfsr: degree %d out of range [1,64]", n)
+	}
+	var mask uint64
+	for _, e := range exps {
+		if e >= n {
+			return 0, fmt.Errorf("lfsr: exponent %d >= degree %d", e, n)
+		}
+		mask |= 1 << e
+	}
+	if mask&1 == 0 {
+		return 0, fmt.Errorf("lfsr: feedback polynomial must include x^0")
+	}
+	return mask, nil
+}
+
+func parity(x uint64) uint64 {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// Primitive returns the feedback exponent set of a known primitive
+// polynomial of the given degree, for degrees present in the built-in
+// table. The table entries are classic maximal-length polynomials
+// (period 2^n - 1); small degrees are verified exhaustively in the tests.
+func Primitive(n uint) ([]uint, bool) {
+	e, ok := primitiveTable[n]
+	return e, ok
+}
+
+// primitiveTable maps degree n to the exponents E of a primitive
+// p(x) = x^n + Σ x^e (E always contains 0).
+var primitiveTable = map[uint][]uint{
+	3:  {1, 0},
+	4:  {1, 0},
+	5:  {2, 0},
+	6:  {1, 0},
+	7:  {1, 0},
+	8:  {4, 3, 2, 0},
+	9:  {4, 0},
+	10: {3, 0},
+	11: {2, 0},
+	15: {1, 0},
+	16: {15, 13, 4, 0},
+	17: {3, 0},
+	18: {7, 0},
+	20: {3, 0},
+	23: {5, 0},
+	24: {7, 2, 1, 0},
+	25: {3, 0},
+	28: {3, 0},
+	31: {3, 0},
+	32: {22, 2, 1, 0},
+	33: {13, 0},
+	39: {4, 0},
+	41: {3, 0},
+	47: {5, 0},
+	48: {28, 27, 1, 0},
+	52: {3, 0},
+	57: {7, 0},
+	60: {1, 0},
+	63: {1, 0},
+	64: {63, 61, 60, 0},
+}

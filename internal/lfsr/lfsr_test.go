@@ -1,0 +1,356 @@
+package lfsr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFibonacciMaximalPeriodSmallDegrees(t *testing.T) {
+	for _, n := range []uint{3, 4, 5, 6, 7, 8, 9, 10, 11, 15, 16, 17, 18, 20} {
+		exps, ok := Primitive(n)
+		if !ok {
+			t.Fatalf("no primitive polynomial for degree %d", n)
+		}
+		l, err := NewFibonacci(n, exps, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(1)<<n - 1
+		var period uint64
+		for {
+			l.Clock()
+			period++
+			if l.State() == 1 {
+				break
+			}
+			if period > want {
+				t.Fatalf("degree %d: period exceeds 2^n-1", n)
+			}
+		}
+		if period != want {
+			t.Errorf("degree %d: period %d, want %d", n, period, want)
+		}
+	}
+}
+
+func TestGaloisMaximalPeriodSmallDegrees(t *testing.T) {
+	for _, n := range []uint{3, 4, 5, 6, 7, 8, 9, 10, 11, 15, 16} {
+		exps, _ := Primitive(n)
+		l, err := NewGalois(n, exps, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(1)<<n - 1
+		var period uint64
+		for {
+			l.Clock()
+			period++
+			if l.State() == 1 {
+				break
+			}
+			if period > want {
+				t.Fatalf("degree %d: period exceeds 2^n-1", n)
+			}
+		}
+		if period != want {
+			t.Errorf("degree %d: period %d, want %d", n, period, want)
+		}
+	}
+}
+
+// Both configurations must produce sequences satisfying the defining
+// linear recurrence z[t+n] = XOR_{e in E} z[t+e].
+func TestOutputSatisfiesRecurrence(t *testing.T) {
+	for _, n := range []uint{8, 16, 20, 32, 48, 64} {
+		exps, ok := Primitive(n)
+		if !ok {
+			t.Fatalf("no primitive polynomial for degree %d", n)
+		}
+		fib, err := NewFibonacci(n, exps, 0x12345678ABCDEF1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gal, err := NewGalois(n, exps, 0x12345678ABCDEF1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, clock := range map[string]func() uint8{
+			"fibonacci": fib.Clock,
+			"galois":    gal.Clock,
+		} {
+			z := make([]uint8, 3*int(n)+100)
+			for i := range z {
+				z[i] = clock()
+			}
+			for i := 0; i+int(n) < len(z); i++ {
+				var want uint8
+				for _, e := range exps {
+					want ^= z[i+int(e)]
+				}
+				if z[i+int(n)] != want {
+					t.Fatalf("%s degree %d: recurrence violated at t=%d", name, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFibonacciRejectsBadInput(t *testing.T) {
+	if _, err := NewFibonacci(20, []uint{3, 0}, 0); err == nil {
+		t.Error("zero state accepted")
+	}
+	if _, err := NewFibonacci(0, []uint{0}, 1); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := NewFibonacci(65, []uint{0}, 1); err == nil {
+		t.Error("degree 65 accepted")
+	}
+	if _, err := NewFibonacci(8, []uint{9, 0}, 1); err == nil {
+		t.Error("exponent >= n accepted")
+	}
+	if _, err := NewFibonacci(8, []uint{4, 3}, 1); err == nil {
+		t.Error("polynomial without x^0 accepted")
+	}
+}
+
+func TestPrimitiveTableWellFormed(t *testing.T) {
+	for n, exps := range primitiveTable {
+		if _, err := tapMask(n, exps); err != nil {
+			t.Errorf("degree %d: %v", n, err)
+		}
+		has0 := false
+		for _, e := range exps {
+			if e == 0 {
+				has0 = true
+			}
+		}
+		if !has0 {
+			t.Errorf("degree %d: table entry lacks x^0", n)
+		}
+	}
+	if _, ok := Primitive(12345); ok {
+		t.Error("Primitive returned entry for absent degree")
+	}
+}
+
+// The bitsliced engine must agree bit-for-bit with 64 independent naive
+// registers (Fig. 8 vs Fig. 7).
+func TestSlicedMatchesFarm(t *testing.T) {
+	degrees := []uint{8, 16, 20, 32, 48, 64}
+	for _, n := range degrees {
+		exps, _ := Primitive(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		states := make([]uint64, 64)
+		for i := range states {
+			for states[i] == 0 {
+				states[i] = rng.Uint64()
+				if n < 64 {
+					states[i] &= (1 << n) - 1
+				}
+			}
+		}
+		sl, err := NewSliced(n, exps, states, Rename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fm, err := NewFarm(n, exps, states)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 500; step++ {
+			a, b := sl.Clock(), fm.Clock()
+			if a != b {
+				t.Fatalf("degree %d: divergence at clock %d: %x vs %x", n, step, a, b)
+			}
+		}
+	}
+}
+
+func TestSlicedStrategiesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		n := uint(20)
+		exps, _ := Primitive(n)
+		rng := rand.New(rand.NewSource(seed))
+		states := make([]uint64, 64)
+		for i := range states {
+			for states[i] == 0 {
+				states[i] = rng.Uint64() & ((1 << n) - 1)
+			}
+		}
+		a, err := NewSliced(n, exps, states, Rename)
+		if err != nil {
+			return false
+		}
+		b, err := NewSliced(n, exps, states, Copy)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 300; step++ {
+			if a.Clock() != b.Clock() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlicedLaneState(t *testing.T) {
+	n := uint(32)
+	exps, _ := Primitive(n)
+	states := []uint64{0xDEADBEEF, 0x12345678, 0x0BADF00D}
+	for _, strat := range []ShiftStrategy{Rename, Copy} {
+		sl, err := NewSliced(n, exps, states, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := make([]*Fibonacci, len(states))
+		for i, st := range states {
+			refs[i], _ = NewFibonacci(n, exps, st)
+		}
+		for step := 0; step < 100; step++ {
+			for lane, r := range refs {
+				if sl.LaneState(lane) != r.State() {
+					t.Fatalf("strategy %v lane %d state mismatch at clock %d", strat, lane, step)
+				}
+			}
+			sl.Clock()
+			for _, r := range refs {
+				r.Clock()
+			}
+		}
+	}
+}
+
+func TestFillPerLane(t *testing.T) {
+	n := uint(48)
+	exps, _ := Primitive(n)
+	rng := rand.New(rand.NewSource(99))
+	states := make([]uint64, 64)
+	for i := range states {
+		states[i] = rng.Uint64()&((1<<n)-1) | 1
+	}
+	sl, _ := NewSliced(n, exps, states, Rename)
+	dst := make([]uint64, 128) // two blocks
+	sl.FillPerLane(dst)
+	// Lane L's bits: block 0 word L (clocks 0..63), block 1 word L (64..127).
+	for lane := 0; lane < 64; lane++ {
+		ref, _ := NewFibonacci(n, exps, states[lane])
+		for tt := 0; tt < 128; tt++ {
+			blk, bit := tt/64, uint(tt%64)
+			got := uint8((dst[blk*64+lane] >> bit) & 1)
+			if got != ref.Clock() {
+				t.Fatalf("lane %d clock %d mismatch", lane, tt)
+			}
+		}
+	}
+}
+
+func TestFillPerLanePanicsOnBadLength(t *testing.T) {
+	exps, _ := Primitive(20)
+	sl, _ := NewSliced(20, exps, []uint64{1}, Rename)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sl.FillPerLane(make([]uint64, 63))
+}
+
+func TestFillRaw(t *testing.T) {
+	exps, _ := Primitive(20)
+	sl, _ := NewSliced(20, exps, []uint64{1, 2, 3}, Rename)
+	sl2, _ := NewSliced(20, exps, []uint64{1, 2, 3}, Rename)
+	dst := make([]uint64, 100)
+	sl.FillRaw(dst)
+	for i := range dst {
+		if dst[i] != sl2.Clock() {
+			t.Fatalf("word %d differs", i)
+		}
+	}
+}
+
+func TestNewSlicedRejectsBadInput(t *testing.T) {
+	exps, _ := Primitive(20)
+	if _, err := NewSliced(20, exps, nil, Rename); err == nil {
+		t.Error("empty lane set accepted")
+	}
+	if _, err := NewSliced(20, exps, make([]uint64, 65), Rename); err == nil {
+		t.Error("65 lanes accepted")
+	}
+	if _, err := NewSliced(20, exps, []uint64{0}, Rename); err == nil {
+		t.Error("zero lane state accepted")
+	}
+}
+
+func TestFarmRejectsBadInput(t *testing.T) {
+	exps, _ := Primitive(20)
+	if _, err := NewFarm(20, exps, nil); err == nil {
+		t.Error("empty farm accepted")
+	}
+	if _, err := NewFarm(20, exps, []uint64{0}); err == nil {
+		t.Error("zero state accepted")
+	}
+}
+
+// Benchmarks: the paper's Fig. 7 (naive farm) vs Fig. 8 (bitsliced) LFSR.
+
+func benchStates(n uint) []uint64 {
+	rng := rand.New(rand.NewSource(7))
+	states := make([]uint64, 64)
+	for i := range states {
+		states[i] = rng.Uint64() | 1
+		if n < 64 {
+			states[i] &= (1 << n) - 1
+			states[i] |= 1
+		}
+	}
+	return states
+}
+
+func BenchmarkNaiveFarm64Lanes(b *testing.B) {
+	exps, _ := Primitive(64)
+	fm, _ := NewFarm(64, exps, benchStates(64))
+	dst := make([]uint64, 1024)
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fm.FillRaw(dst)
+	}
+}
+
+func BenchmarkSlicedRename64Lanes(b *testing.B) {
+	exps, _ := Primitive(64)
+	sl, _ := NewSliced(64, exps, benchStates(64), Rename)
+	dst := make([]uint64, 1024)
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sl.FillRaw(dst)
+	}
+}
+
+func BenchmarkSlicedCopy64Lanes(b *testing.B) {
+	exps, _ := Primitive(64)
+	sl, _ := NewSliced(64, exps, benchStates(64), Copy)
+	dst := make([]uint64, 1024)
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sl.FillRaw(dst)
+	}
+}
+
+func BenchmarkSlicedPerLane(b *testing.B) {
+	exps, _ := Primitive(64)
+	sl, _ := NewSliced(64, exps, benchStates(64), Rename)
+	dst := make([]uint64, 1024)
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sl.FillPerLane(dst)
+	}
+}

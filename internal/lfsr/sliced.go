@@ -1,0 +1,198 @@
+package lfsr
+
+import (
+	"fmt"
+
+	"repro/internal/bitslice"
+)
+
+// ShiftStrategy selects how the bitsliced engine realizes the register
+// shift. The paper (§4.3) replaces bit-level shifts with "register
+// reference swapping"; Rename is that strategy. Copy is the strawman that
+// physically moves every plane each clock, kept for the ablation bench.
+type ShiftStrategy int
+
+const (
+	// Rename advances a ring head index; no plane moves.
+	Rename ShiftStrategy = iota
+	// Copy physically shifts all planes down by one each clock.
+	Copy
+)
+
+// Sliced is the bitsliced W-lane LFSR of paper Fig. 8: plane i carries
+// state bit i of all 64 lanes, one Clock produces 64 output bits (one per
+// lane), and the k tap XORs are full-width word operations.
+type Sliced struct {
+	n        int
+	taps     []int // feedback exponents, ascending
+	planes   []uint64
+	scratch  []uint64
+	head     int
+	strategy ShiftStrategy
+}
+
+// NewSliced builds a bitsliced LFSR of degree n with feedback exponents
+// exps. states gives the initial register image per lane (bit i of
+// states[L] is state bit i of lane L); it must contain 1..64 non-zero
+// entries.
+func NewSliced(n uint, exps []uint, states []uint64, strategy ShiftStrategy) (*Sliced, error) {
+	if _, err := tapMask(n, exps); err != nil {
+		return nil, err
+	}
+	if len(states) == 0 || len(states) > bitslice.W {
+		return nil, fmt.Errorf("lfsr: lane count %d out of range [1,64]", len(states))
+	}
+	for i, s := range states {
+		if n < 64 {
+			s &= (1 << n) - 1
+		}
+		if s == 0 {
+			return nil, fmt.Errorf("lfsr: lane %d has zero initial state", i)
+		}
+	}
+	taps := make([]int, 0, len(exps))
+	for _, e := range exps {
+		taps = append(taps, int(e))
+	}
+	s := &Sliced{
+		n:        int(n),
+		taps:     taps,
+		planes:   make([]uint64, n),
+		scratch:  make([]uint64, n),
+		strategy: strategy,
+	}
+	for lane, st := range states {
+		for i := 0; i < int(n); i++ {
+			bitslice.SetLaneBit(s.planes, i, lane, uint8((st>>uint(i))&1))
+		}
+	}
+	return s, nil
+}
+
+// Clock advances all lanes one step and returns the 64 output bits
+// (bit L = output of lane L).
+func (s *Sliced) Clock() uint64 {
+	if s.strategy == Copy {
+		return s.clockCopy()
+	}
+	return s.clockRename()
+}
+
+func (s *Sliced) clockRename() uint64 {
+	out := s.planes[s.head]
+	var fb uint64
+	for _, e := range s.taps {
+		fb ^= s.planes[s.idx(e)]
+	}
+	s.head = s.idx(1)
+	// The plane that held state bit 0 becomes the new bit n-1.
+	s.planes[s.idx(s.n-1)] = fb
+	return out
+}
+
+func (s *Sliced) idx(i int) int {
+	j := s.head + i
+	if j >= s.n {
+		j -= s.n
+	}
+	return j
+}
+
+func (s *Sliced) clockCopy() uint64 {
+	out := s.planes[0]
+	var fb uint64
+	for _, e := range s.taps {
+		fb ^= s.planes[e]
+	}
+	copy(s.scratch, s.planes[1:])
+	s.scratch[s.n-1] = fb
+	s.planes, s.scratch = s.scratch, s.planes
+	return out
+}
+
+// LaneState reconstructs the row-major register image of one lane.
+func (s *Sliced) LaneState(lane int) uint64 {
+	var st uint64
+	for i := 0; i < s.n; i++ {
+		var b uint8
+		if s.strategy == Copy {
+			b = bitslice.LaneBit(s.planes, i, lane)
+		} else {
+			b = bitslice.LaneBit(s.planes, s.idx(i), lane)
+		}
+		st |= uint64(b) << uint(i)
+	}
+	return st
+}
+
+// Degree returns n.
+func (s *Sliced) Degree() int { return s.n }
+
+// Bulk generation ------------------------------------------------------
+
+// FillRaw fills dst with keystream words in device order: word t holds the
+// 64 lane outputs of clock t (no transposition; the cheapest layout, used
+// when the consumer only needs uniform bits, not per-lane streams).
+func (s *Sliced) FillRaw(dst []uint64) {
+	for i := range dst {
+		dst[i] = s.Clock()
+	}
+}
+
+// FillPerLane generates 64 clocks per block and transposes, so that dst is
+// a sequence of 64-word blocks in which word L is 64 consecutive output
+// bits of lane L (bit t = clock t). len(dst) must be a multiple of 64.
+func (s *Sliced) FillPerLane(dst []uint64) {
+	if len(dst)%64 != 0 {
+		panic("lfsr: FillPerLane length must be a multiple of 64")
+	}
+	var blk [64]uint64
+	for off := 0; off < len(dst); off += 64 {
+		for t := 0; t < 64; t++ {
+			blk[t] = s.Clock()
+		}
+		bitslice.Transpose64(&blk)
+		copy(dst[off:off+64], blk[:])
+	}
+}
+
+// Farm is the paper's Fig. 7 configuration: 64 independent conventional
+// LFSRs, one per "thread", each clocked bit-by-bit. It exists as the naive
+// baseline for the bitsliced comparison benches.
+type Farm struct {
+	regs []*Fibonacci
+}
+
+// NewFarm builds 64 (or fewer) independent Fibonacci LFSRs.
+func NewFarm(n uint, exps []uint, states []uint64) (*Farm, error) {
+	if len(states) == 0 || len(states) > bitslice.W {
+		return nil, fmt.Errorf("lfsr: lane count %d out of range [1,64]", len(states))
+	}
+	f := &Farm{regs: make([]*Fibonacci, len(states))}
+	for i, st := range states {
+		r, err := NewFibonacci(n, exps, st)
+		if err != nil {
+			return nil, err
+		}
+		f.regs[i] = r
+	}
+	return f, nil
+}
+
+// Clock advances every register one step and gathers the 64 output bits
+// into one word (bit L = output of register L) — the same contract as
+// Sliced.Clock, at naive cost.
+func (f *Farm) Clock() uint64 {
+	var out uint64
+	for i, r := range f.regs {
+		out |= uint64(r.Clock()) << uint(i)
+	}
+	return out
+}
+
+// FillRaw fills dst with one gathered word per clock.
+func (f *Farm) FillRaw(dst []uint64) {
+	for i := range dst {
+		dst[i] = f.Clock()
+	}
+}

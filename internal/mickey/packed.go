@@ -1,0 +1,119 @@
+package mickey
+
+// Packed is the conventional fast software MICKEY 2.0: each 100-bit
+// register lives in 4 uint32 words and every clock performs the bit-level
+// shift-and-mask work the paper's §4.3 identifies as the naive
+// implementation's bottleneck. One Packed value is one cipher instance —
+// the "one LFSR per thread" configuration of Fig. 7.
+type Packed struct {
+	r, s [4]uint32
+}
+
+// NewPacked returns a keyed instance equivalent to NewRef.
+func NewPacked(key []byte, iv []byte, ivBits int) (*Packed, error) {
+	if err := checkKeyIV(key, iv, ivBits); err != nil {
+		return nil, err
+	}
+	m := &Packed{}
+	for i := 0; i < ivBits; i++ {
+		m.clockKG(true, uint32(ivBit(iv, i)))
+	}
+	for i := 0; i < 8*KeySize; i++ {
+		m.clockKG(true, uint32(ivBit(key, i)))
+	}
+	for i := 0; i < regBits; i++ {
+		m.clockKG(true, 0)
+	}
+	return m, nil
+}
+
+// bit reads bit i of a packed register.
+func bit(w *[4]uint32, i int) uint32 {
+	return (w[i>>5] >> uint(i&31)) & 1
+}
+
+// shl1 shifts a packed 100-bit register left by one (towards higher
+// indices): the register move r_i -> r_{i+1}.
+func shl1(w *[4]uint32) [4]uint32 {
+	var o [4]uint32
+	o[0] = w[0] << 1
+	o[1] = w[1]<<1 | w[0]>>31
+	o[2] = w[2]<<1 | w[1]>>31
+	o[3] = (w[3]<<1 | w[2]>>31) & 0xF
+	return o
+}
+
+// shr1 shifts right by one: s_{i+1} appears at position i.
+func shr1(w *[4]uint32) [4]uint32 {
+	var o [4]uint32
+	o[0] = w[0]>>1 | w[1]<<31
+	o[1] = w[1]>>1 | w[2]<<31
+	o[2] = w[2]>>1 | w[3]<<31
+	o[3] = w[3] >> 1
+	return o
+}
+
+func (m *Packed) clockKG(mixing bool, inputBit uint32) {
+	controlR := bit(&m.s, 34) ^ bit(&m.r, 67)
+	controlS := bit(&m.s, 67) ^ bit(&m.r, 33)
+	inputR := inputBit
+	if mixing {
+		inputR ^= bit(&m.s, 50)
+	}
+
+	// CLOCK_R
+	fbR := bit(&m.r, 99) ^ inputR
+	nr := shl1(&m.r)
+	if fbR == 1 {
+		for k := 0; k < 4; k++ {
+			nr[k] ^= rMask[k]
+		}
+	}
+	if controlR == 1 {
+		for k := 0; k < 4; k++ {
+			nr[k] ^= m.r[k]
+		}
+	}
+
+	// CLOCK_S
+	fbS := bit(&m.s, 99) ^ inputBit
+	prev := shl1(&m.s) // s_{i-1} at position i; bit 99 = s_98, bit 0 = 0
+	next := shr1(&m.s) // s_{i+1} at position i
+	var t [4]uint32
+	for k := 0; k < 4; k++ {
+		t[k] = (m.s[k] ^ comp0[k]) & (next[k] ^ comp1[k])
+	}
+	// The COMP product only applies to bits 1..98.
+	t[0] &= 0xFFFFFFFE
+	t[3] &= 0x7
+	ns := [4]uint32{prev[0] ^ t[0], prev[1] ^ t[1], prev[2] ^ t[2], prev[3] ^ t[3]}
+	if fbS == 1 {
+		fb := &sMask0
+		if controlS == 1 {
+			fb = &sMask1
+		}
+		for k := 0; k < 4; k++ {
+			ns[k] ^= fb[k]
+		}
+	}
+
+	m.r, m.s = nr, ns
+}
+
+// KeystreamBit emits the next keystream bit.
+func (m *Packed) KeystreamBit() uint8 {
+	z := uint8(bit(&m.r, 0) ^ bit(&m.s, 0))
+	m.clockKG(false, 0)
+	return z
+}
+
+// Keystream fills dst with keystream bytes, bits packed MSB-first.
+func (m *Packed) Keystream(dst []byte) {
+	for i := range dst {
+		var b byte
+		for j := 7; j >= 0; j-- {
+			b |= m.KeystreamBit() << uint(j)
+		}
+		dst[i] = b
+	}
+}

@@ -1,0 +1,189 @@
+package mickey
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitslice"
+)
+
+// Sliced is the bitsliced MICKEY 2.0 engine of paper §4.4 (Fig. 9): the
+// two 100-bit registers become 200 uint64 planes (plane i, bit L = state
+// bit i of lane L), so one ClockWord advances 64 independent cipher
+// instances and emits 64 keystream bits.
+//
+// Everything data-dependent in the spec becomes branch-free here:
+//
+//   - the per-lane control bits (irregular clocking) turn into full-width
+//     AND masks,
+//   - the COMP0/COMP1/FB0/FB1 constants broadcast to all-zero/all-one
+//     words at construction time,
+//   - the register shift is realized by ping-pong buffer swapping — the
+//     paper's "register reference swapping" — rather than bit shifts.
+type Sliced struct {
+	r, s   []uint64 // current planes, length 100 each
+	nr, ns []uint64 // scratch planes (swapped in after every clock)
+	lanes  int
+
+	// broadcast constants, one word per state bit; the per-index selector
+	// words turn every data-dependent choice in the spec into straight-line
+	// AND/XOR so the clock loop is branch-free.
+	c0, c1 [regBits]uint64
+	tapB   [regBits]uint64 // ^0 where i ∈ RTAPS
+	// S feedback selectors by (FB0, FB1): exactly one of the three is ^0
+	// when any feedback applies at index i.
+	selZero [regBits]uint64 // FB0=1, FB1=0: term = fbS & ^ctrlS
+	selOne  [regBits]uint64 // FB0=0, FB1=1: term = fbS & ctrlS
+	selBoth [regBits]uint64 // FB0=1, FB1=1: term = fbS
+}
+
+// NewSliced builds a 64-lane (or fewer) engine. keys[L] is lane L's
+// 10-byte key; ivs[L] its IV (ivBits bits, MSB-first). All lanes are
+// initialized in lock-step, exactly mirroring the reference schedule.
+func NewSliced(keys [][]byte, ivs [][]byte, ivBits int) (*Sliced, error) {
+	lanes := len(keys)
+	if lanes == 0 || lanes > bitslice.W {
+		return nil, fmt.Errorf("mickey: lane count %d out of range [1,64]", lanes)
+	}
+	if len(ivs) != lanes {
+		return nil, fmt.Errorf("mickey: %d keys but %d ivs", lanes, len(ivs))
+	}
+	for l := 0; l < lanes; l++ {
+		if err := checkKeyIV(keys[l], ivs[l], ivBits); err != nil {
+			return nil, fmt.Errorf("lane %d: %w", l, err)
+		}
+	}
+
+	m := &Sliced{
+		r: make([]uint64, regBits), s: make([]uint64, regBits),
+		nr: make([]uint64, regBits), ns: make([]uint64, regBits),
+		lanes: lanes,
+	}
+	for i := 0; i < regBits; i++ {
+		m.c0[i] = bitslice.Broadcast(maskBit(&comp0, i))
+		m.c1[i] = bitslice.Broadcast(maskBit(&comp1, i))
+		f0, f1 := maskBit(&sMask0, i), maskBit(&sMask1, i)
+		m.selZero[i] = bitslice.Broadcast(f0 &^ f1)
+		m.selOne[i] = bitslice.Broadcast(f1 &^ f0)
+		m.selBoth[i] = bitslice.Broadcast(f0 & f1)
+	}
+	for _, t := range rtaps {
+		m.tapB[t] = ^uint64(0)
+	}
+
+	// Load IV, key, preclock — the same schedule as the reference, with
+	// the input bit gathered across lanes into one word per step.
+	gather := func(src [][]byte, i int) uint64 {
+		var w uint64
+		for l := 0; l < lanes; l++ {
+			w |= uint64(ivBit(src[l], i)) << uint(l)
+		}
+		return w
+	}
+	for i := 0; i < ivBits; i++ {
+		m.clockKG(true, gather(ivs, i))
+	}
+	for i := 0; i < 8*KeySize; i++ {
+		m.clockKG(true, gather(keys, i))
+	}
+	for i := 0; i < regBits; i++ {
+		m.clockKG(true, 0)
+	}
+	return m, nil
+}
+
+// clockKG advances all lanes one generator step. input carries one input
+// bit per lane.
+func (m *Sliced) clockKG(mixing bool, input uint64) {
+	r, s, nr, ns := m.r, m.s, m.nr, m.ns
+
+	ctrlR := s[34] ^ r[67]
+	ctrlS := s[67] ^ r[33]
+	inputR := input
+	if mixing {
+		inputR ^= s[50]
+	}
+
+	// CLOCK_R: nr[i] = r[i-1] ^ (i∈RTAPS ? fbR : 0) ^ (r[i] & ctrlR)
+	fbR := r[99] ^ inputR
+	nr[0] = (fbR & m.tapB[0]) ^ (r[0] & ctrlR)
+	for i := 1; i < regBits; i++ {
+		nr[i] = r[i-1] ^ (r[i] & ctrlR) ^ (fbR & m.tapB[i])
+	}
+
+	// CLOCK_S
+	fbS := s[99] ^ input
+	fb0 := fbS &^ ctrlS // applied where FB0=1, FB1=0
+	fb1 := fbS & ctrlS  // applied where FB0=0, FB1=1
+	ns[0] = fb0&m.selZero[0] ^ fb1&m.selOne[0] ^ fbS&m.selBoth[0]
+	for i := 1; i < 99; i++ {
+		ns[i] = s[i-1] ^ ((s[i] ^ m.c0[i]) & (s[i+1] ^ m.c1[i])) ^
+			fb0&m.selZero[i] ^ fb1&m.selOne[i] ^ fbS&m.selBoth[i]
+	}
+	ns[99] = s[98] ^ fb0&m.selZero[99] ^ fb1&m.selOne[99] ^ fbS&m.selBoth[99]
+
+	m.r, m.nr = nr, r
+	m.s, m.ns = ns, s
+}
+
+// ClockWord emits one keystream word (bit L = lane L's next keystream
+// bit) and advances the generator.
+func (m *Sliced) ClockWord() uint64 {
+	z := m.r[0] ^ m.s[0]
+	m.clockKG(false, 0)
+	return z
+}
+
+// Lanes returns the number of active lanes.
+func (m *Sliced) Lanes() int { return m.lanes }
+
+// KeystreamBlock runs 64 clocks and transposes the result so that out[L],
+// written little-endian, is 8 keystream bytes of lane L with the cipher's
+// MSB-first bit packing (byte-compatible with Ref.Keystream /
+// Packed.Keystream).
+func (m *Sliced) KeystreamBlock(out *[64]uint64) {
+	// Placing clock t at index (t&^7)|(7-t&7) makes the post-transpose
+	// little-endian byte image MSB-first per byte.
+	for t := 0; t < 64; t++ {
+		out[(t&^7)|(7-t&7)] = m.ClockWord()
+	}
+	bitslice.Transpose64(out)
+}
+
+// Keystream fills one equal-length buffer per lane with that lane's
+// keystream bytes. len(bufs) must equal Lanes() and every buffer length
+// must be the same multiple of 8.
+func (m *Sliced) Keystream(bufs [][]byte) error {
+	if len(bufs) != m.lanes {
+		return fmt.Errorf("mickey: %d buffers for %d lanes", len(bufs), m.lanes)
+	}
+	if len(bufs) == 0 {
+		return nil
+	}
+	n := len(bufs[0])
+	for _, b := range bufs {
+		if len(b) != n {
+			return fmt.Errorf("mickey: ragged keystream buffers")
+		}
+	}
+	if n%8 != 0 {
+		return fmt.Errorf("mickey: buffer length must be a multiple of 8")
+	}
+	var blk [64]uint64
+	for off := 0; off < n; off += 8 {
+		m.KeystreamBlock(&blk)
+		for l := 0; l < m.lanes; l++ {
+			binary.LittleEndian.PutUint64(bufs[l][off:off+8], blk[l])
+		}
+	}
+	return nil
+}
+
+// KeystreamWords fills dst with raw device-order keystream words (one
+// ClockWord per element, no transposition) — the cheapest bulk path when
+// the consumer only needs uniform random bits.
+func (m *Sliced) KeystreamWords(dst []uint64) {
+	for i := range dst {
+		dst[i] = m.ClockWord()
+	}
+}

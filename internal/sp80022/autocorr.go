@@ -1,0 +1,47 @@
+package sp80022
+
+import "math"
+
+// Autocorrelation implements the serial autocorrelation criterion the
+// paper's abstract cites alongside NIST ("statistical randomness and
+// bit-wise correlation criteria"): for a lag d, the statistic counts
+// agreements between the stream and its d-shifted self,
+//
+//	A(d) = Σ_{i<n-d} ε_i ⊕ ε_{i+d},
+//
+// which under H0 is Binomial(n−d, 1/2); the p-value is the two-sided
+// normal tail of the standardized count.
+func Autocorrelation(bits []uint8, d int) (float64, error) {
+	n := len(bits)
+	if d < 1 || n-d < 100 {
+		return 0, errShort
+	}
+	a := 0
+	for i := 0; i+d < n; i++ {
+		a += int(bits[i] ^ bits[i+d])
+	}
+	m := n - d
+	z := (float64(a) - float64(m)/2) / math.Sqrt(float64(m)/4)
+	return math.Erfc(math.Abs(z) / math.Sqrt2), nil
+}
+
+// CrossCorrelation measures the agreement between two equal-length bit
+// streams — the inter-lane decorrelation check motivated by the paper's
+// §4.3 warning that parallel LFSR lanes "should be carefully initialized
+// to eliminate any statistical correlation". The p-value is the
+// two-sided tail of the standardized Hamming-agreement count.
+func CrossCorrelation(a, b []uint8) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errShort
+	}
+	n := len(a)
+	if n < 100 {
+		return 0, errShort
+	}
+	agree := 0
+	for i := range a {
+		agree += int(1 ^ a[i] ^ b[i])
+	}
+	z := (float64(agree) - float64(n)/2) / math.Sqrt(float64(n)/4)
+	return math.Erfc(math.Abs(z) / math.Sqrt2), nil
+}

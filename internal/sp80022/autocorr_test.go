@@ -1,0 +1,67 @@
+package sp80022
+
+import "testing"
+
+func TestAutocorrelationGoodData(t *testing.T) {
+	bits := randomBits(1<<16, 21)
+	for _, d := range []int{1, 2, 8, 64, 1000} {
+		p, err := Autocorrelation(bits, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 1e-4 {
+			t.Errorf("lag %d: good data rejected p=%g", d, p)
+		}
+	}
+}
+
+func TestAutocorrelationDetectsPeriodicity(t *testing.T) {
+	// Period-8 data has perfect autocorrelation at lag 8.
+	bits := make([]uint8, 1<<14)
+	pattern := []uint8{1, 0, 1, 1, 0, 0, 1, 0}
+	for i := range bits {
+		bits[i] = pattern[i%8]
+	}
+	p, err := Autocorrelation(bits, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-10 {
+		t.Errorf("period-8 stream passed lag-8 autocorrelation: p=%g", p)
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation(make([]uint8, 150), 0); err == nil {
+		t.Error("lag 0 accepted")
+	}
+	if _, err := Autocorrelation(make([]uint8, 150), 100); err == nil {
+		t.Error("lag leaving < 100 bits accepted")
+	}
+}
+
+func TestCrossCorrelation(t *testing.T) {
+	a := randomBits(1<<14, 31)
+	b := randomBits(1<<14, 32)
+	p, err := CrossCorrelation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Errorf("independent streams flagged: p=%g", p)
+	}
+	// A stream against itself is maximally correlated.
+	p, err = CrossCorrelation(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-10 {
+		t.Errorf("identical streams passed: p=%g", p)
+	}
+	if _, err := CrossCorrelation(a, a[:100]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := CrossCorrelation(a[:50], a[:50]); err == nil {
+		t.Error("short streams accepted")
+	}
+}

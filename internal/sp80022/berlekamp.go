@@ -1,0 +1,34 @@
+package sp80022
+
+// berlekampMassey returns the linear complexity L of a bit sequence: the
+// length of the shortest LFSR that generates it (SP 800-22 §3.10's core
+// routine, and the converse of this repository's lfsr package — a
+// sequence from an n-bit LFSR must come back as L ≤ n).
+func berlekampMassey(s []uint8) int {
+	n := len(s)
+	c := make([]uint8, n+1)
+	b := make([]uint8, n+1)
+	t := make([]uint8, n+1)
+	c[0], b[0] = 1, 1
+	L, m := 0, -1
+	for i := 0; i < n; i++ {
+		// Discrepancy d = s[i] + Σ_{j=1..L} c[j]·s[i-j].
+		d := s[i]
+		for j := 1; j <= L; j++ {
+			d ^= c[j] & s[i-j]
+		}
+		if d == 1 {
+			copy(t, c)
+			shift := i - m
+			for j := 0; j+shift <= n; j++ {
+				c[j+shift] ^= b[j]
+			}
+			if 2*L <= i {
+				L = i + 1 - L
+				m = i
+				copy(b, t)
+			}
+		}
+	}
+	return L
+}

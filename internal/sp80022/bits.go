@@ -1,0 +1,35 @@
+package sp80022
+
+// BitsFromBytes expands a byte buffer into the suite's one-bit-per-element
+// representation, LSB-first within each byte.
+func BitsFromBytes(p []byte) []uint8 {
+	bits := make([]uint8, 8*len(p))
+	for i, b := range p {
+		for j := 0; j < 8; j++ {
+			bits[8*i+j] = (b >> uint(j)) & 1
+		}
+	}
+	return bits
+}
+
+// BitsFromWords expands uint64 words into bits, LSB-first within each
+// word — the natural adapter for the bitsliced engines' raw keystream
+// words.
+func BitsFromWords(ws []uint64) []uint8 {
+	bits := make([]uint8, 64*len(ws))
+	for i, w := range ws {
+		for j := 0; j < 64; j++ {
+			bits[64*i+j] = uint8((w >> uint(j)) & 1)
+		}
+	}
+	return bits
+}
+
+// onesCount counts the set bits of a stream.
+func onesCount(bits []uint8) int {
+	c := 0
+	for _, b := range bits {
+		c += int(b)
+	}
+	return c
+}

@@ -1,0 +1,97 @@
+package sp80022
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// fftPow2 computes an in-place iterative radix-2 decimation-in-time FFT.
+// len(a) must be a power of two. inverse applies the conjugate transform
+// without the 1/n scaling (the caller scales).
+func fftPow2(a []complex128, inverse bool) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic("sp80022: fftPow2 length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += size {
+			w := complex(1, 0)
+			half := size / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// dft computes the forward discrete Fourier transform of arbitrary-length
+// real input using Bluestein's chirp-z algorithm over the radix-2 kernel,
+// so the spectral test runs on the exact stream length (SP 800-22 does
+// not require a power-of-two n).
+func dft(x []float64) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		a := make([]complex128, n)
+		for i, v := range x {
+			a[i] = complex(v, 0)
+		}
+		fftPow2(a, false)
+		return a
+	}
+
+	// Bluestein: X_k = b*_k · IFFT(FFT(a) · FFT(b)), with
+	// a_j = x_j·w_j, b_j = conj(w_j), w_j = exp(-iπ j²/n).
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	w := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		// j² mod 2n avoids precision loss for large j.
+		jj := (int64(j) * int64(j)) % int64(2*n)
+		ang := -math.Pi * float64(jj) / float64(n)
+		w[j] = cmplx.Exp(complex(0, ang))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		a[j] = complex(x[j], 0) * w[j]
+		b[j] = cmplx.Conj(w[j])
+	}
+	for j := 1; j < n; j++ {
+		b[m-j] = b[j] // b is symmetric around 0
+	}
+	fftPow2(a, false)
+	fftPow2(b, false)
+	for j := range a {
+		a[j] *= b[j]
+	}
+	fftPow2(a, true)
+	scale := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = w[k] * a[k] * scale
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package sp80022
+
+import "math"
+
+// binaryRank computes the rank over GF(2) of a 32x32 bit matrix; rows[i]
+// bit j is the element at row i, column j.
+func binaryRank(rows *[32]uint32) int {
+	m := *rows
+	rank := 0
+	for col := 0; col < 32 && rank < 32; col++ {
+		pivot := -1
+		for r := rank; r < 32; r++ {
+			if m[r]&(1<<uint(col)) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m[rank], m[pivot] = m[pivot], m[rank]
+		for r := 0; r < 32; r++ {
+			if r != rank && m[r]&(1<<uint(col)) != 0 {
+				m[r] ^= m[rank]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// rankProb returns the probability that a random MxQ binary matrix has the
+// given rank r (SP 800-22 §3.5).
+func rankProb(m, q, r int) float64 {
+	exp := float64(r*(m+q-r) - m*q)
+	p := math.Pow(2, exp)
+	for i := 0; i < r; i++ {
+		num := (1 - math.Pow(2, float64(i-m))) * (1 - math.Pow(2, float64(i-q)))
+		den := 1 - math.Pow(2, float64(i-r))
+		p *= num / den
+	}
+	return p
+}

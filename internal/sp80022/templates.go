@@ -1,0 +1,39 @@
+package sp80022
+
+// aperiodicTemplates enumerates all aperiodic bit templates of length m:
+// templates B with no self-overlap, i.e. no shift 0 < j < m for which
+// B[0:m-j] == B[j:m]. These are the template set of the non-overlapping
+// template matching test (148 templates for the standard m = 9).
+func aperiodicTemplates(m int) [][]uint8 {
+	if m <= 0 || m > 16 {
+		panic("sp80022: template length out of range [1,16]")
+	}
+	var out [][]uint8
+	for v := 0; v < 1<<uint(m); v++ {
+		b := make([]uint8, m)
+		for i := 0; i < m; i++ {
+			b[i] = uint8((v >> uint(m-1-i)) & 1)
+		}
+		if isAperiodic(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func isAperiodic(b []uint8) bool {
+	m := len(b)
+	for j := 1; j < m; j++ {
+		match := true
+		for i := 0; i+j < m; i++ {
+			if b[i] != b[i+j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+package sp80022
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frequency is the monobit test (SP 800-22 §2.1): the proportion of ones
+// must be consistent with 1/2.
+func Frequency(bits []uint8) (float64, error) {
+	n := len(bits)
+	if n < 100 {
+		return 0, errShort
+	}
+	s := 0
+	for _, b := range bits {
+		s += 2*int(b) - 1
+	}
+	sObs := math.Abs(float64(s)) / math.Sqrt(float64(n))
+	return math.Erfc(sObs / math.Sqrt2), nil
+}
+
+// BlockFrequency is the frequency-within-a-block test (§2.2) with block
+// size M.
+func BlockFrequency(bits []uint8, M int) (float64, error) {
+	n := len(bits)
+	if M < 2 || n < M {
+		return 0, errShort
+	}
+	N := n / M
+	chi2 := 0.0
+	for i := 0; i < N; i++ {
+		pi := float64(onesCount(bits[i*M:(i+1)*M])) / float64(M)
+		d := pi - 0.5
+		chi2 += d * d
+	}
+	chi2 *= 4 * float64(M)
+	return igamc(float64(N)/2, chi2/2), nil
+}
+
+// Runs is the runs test (§2.3): the number of uninterrupted runs of
+// identical bits must match expectation.
+func Runs(bits []uint8) (float64, error) {
+	n := len(bits)
+	if n < 100 {
+		return 0, errShort
+	}
+	pi := float64(onesCount(bits)) / float64(n)
+	// Prerequisite frequency check; failing it pins the p-value to 0.
+	if math.Abs(pi-0.5) >= 2/math.Sqrt(float64(n)) {
+		return 0, nil
+	}
+	v := 1
+	for i := 1; i < n; i++ {
+		if bits[i] != bits[i-1] {
+			v++
+		}
+	}
+	num := math.Abs(float64(v) - 2*float64(n)*pi*(1-pi))
+	den := 2 * math.Sqrt(2*float64(n)) * pi * (1 - pi)
+	return math.Erfc(num / den), nil
+}
+
+// CumulativeSums is the cusum test (§2.13); it returns the forward and
+// backward p-values (the paper's Table 3 reports the pair's aggregate).
+func CumulativeSums(bits []uint8) (forward, backward float64, err error) {
+	n := len(bits)
+	if n < 100 {
+		return 0, 0, errShort
+	}
+	cusum := func(reverse bool) float64 {
+		s, z := 0, 0
+		for i := 0; i < n; i++ {
+			b := bits[i]
+			if reverse {
+				b = bits[n-1-i]
+			}
+			s += 2*int(b) - 1
+			if a := abs(s); a > z {
+				z = a
+			}
+		}
+		zf := float64(z)
+		nf := float64(n)
+		sqn := math.Sqrt(nf)
+		lo1 := int(math.Floor((-nf/zf + 1) / 4))
+		hi := int(math.Floor((nf/zf - 1) / 4))
+		sum1 := 0.0
+		for k := lo1; k <= hi; k++ {
+			sum1 += normCDF((4*float64(k)+1)*zf/sqn) - normCDF((4*float64(k)-1)*zf/sqn)
+		}
+		lo2 := int(math.Floor((-nf/zf - 3) / 4))
+		sum2 := 0.0
+		for k := lo2; k <= hi; k++ {
+			sum2 += normCDF((4*float64(k)+3)*zf/sqn) - normCDF((4*float64(k)+1)*zf/sqn)
+		}
+		return 1 - sum1 + sum2
+	}
+	return cusum(false), cusum(true), nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// longestRunParams describes one row of the §2.4 parameter table.
+type longestRunParams struct {
+	m   int       // block length
+	k   int       // number of chi-square classes minus one
+	vlo int       // run length mapped to class 0
+	pi  []float64 // class probabilities
+}
+
+// LongestRun is the longest-run-of-ones-in-a-block test (§2.4). The block
+// size and class probabilities follow the spec's n-dependent table.
+func LongestRun(bits []uint8) (float64, error) {
+	n := len(bits)
+	var p longestRunParams
+	switch {
+	case n < 128:
+		return 0, errShort
+	case n < 6272:
+		p = longestRunParams{m: 8, k: 3, vlo: 1,
+			pi: []float64{0.21484375, 0.3671875, 0.23046875, 0.1875}}
+	case n < 750000:
+		p = longestRunParams{m: 128, k: 5, vlo: 4,
+			pi: []float64{0.1174035788, 0.242955959, 0.249363483, 0.17517706, 0.102701071, 0.112398847}}
+	default:
+		p = longestRunParams{m: 10000, k: 6, vlo: 10,
+			pi: []float64{0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727}}
+	}
+	N := n / p.m
+	v := make([]int, p.k+1)
+	for i := 0; i < N; i++ {
+		blk := bits[i*p.m : (i+1)*p.m]
+		longest, run := 0, 0
+		for _, b := range blk {
+			if b == 1 {
+				run++
+				if run > longest {
+					longest = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		cls := longest - p.vlo
+		if cls < 0 {
+			cls = 0
+		}
+		if cls > p.k {
+			cls = p.k
+		}
+		v[cls]++
+	}
+	chi2 := 0.0
+	for i := 0; i <= p.k; i++ {
+		e := float64(N) * p.pi[i]
+		d := float64(v[i]) - e
+		chi2 += d * d / e
+	}
+	return igamc(float64(p.k)/2, chi2/2), nil
+}
+
+// Rank is the binary matrix rank test (§2.5) over 32x32 matrices.
+func Rank(bits []uint8) (float64, error) {
+	n := len(bits)
+	N := n / (32 * 32)
+	if N < 38 { // the spec's minimum for valid chi-square approximation
+		return 0, fmt.Errorf("sp80022: rank test needs ≥ %d bits, have %d", 38*1024, n)
+	}
+	p32 := rankProb(32, 32, 32)
+	p31 := rankProb(32, 32, 31)
+	p30 := 1 - p32 - p31
+	var f32, f31, f30 int
+	for i := 0; i < N; i++ {
+		var rows [32]uint32
+		base := i * 1024
+		for r := 0; r < 32; r++ {
+			var w uint32
+			for c := 0; c < 32; c++ {
+				w |= uint32(bits[base+32*r+c]) << uint(c)
+			}
+			rows[r] = w
+		}
+		switch binaryRank(&rows) {
+		case 32:
+			f32++
+		case 31:
+			f31++
+		default:
+			f30++
+		}
+	}
+	Nf := float64(N)
+	chi2 := sq(float64(f32)-p32*Nf)/(p32*Nf) +
+		sq(float64(f31)-p31*Nf)/(p31*Nf) +
+		sq(float64(f30)-p30*Nf)/(p30*Nf)
+	return math.Exp(-chi2 / 2), nil
+}
+
+func sq(x float64) float64 { return x * x }
+
+// DFT is the discrete Fourier transform (spectral) test (§2.6).
+func DFT(bits []uint8) (float64, error) {
+	n := len(bits)
+	if n < 1000 {
+		return 0, errShort
+	}
+	x := make([]float64, n)
+	for i, b := range bits {
+		x[i] = float64(2*int(b) - 1)
+	}
+	X := dft(x)
+	threshold := math.Sqrt(math.Log(1/0.05) * float64(n))
+	n0 := 0.95 * float64(n) / 2
+	n1 := 0
+	for k := 0; k < n/2; k++ {
+		re, im := real(X[k]), imag(X[k])
+		if math.Sqrt(re*re+im*im) < threshold {
+			n1++
+		}
+	}
+	d := (float64(n1) - n0) / math.Sqrt(float64(n)*0.95*0.05/4)
+	return math.Erfc(math.Abs(d) / math.Sqrt2), nil
+}

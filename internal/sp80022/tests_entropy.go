@@ -1,0 +1,242 @@
+package sp80022
+
+import (
+	"fmt"
+	"math"
+)
+
+// ApproximateEntropy is the approximate entropy test (§2.12) with block
+// length m: it compares the frequency of overlapping m- and (m+1)-bit
+// patterns.
+func ApproximateEntropy(bits []uint8, m int) (float64, error) {
+	n := len(bits)
+	if n < 8 || m < 1 || m+1 > len(bits) {
+		return 0, errShort
+	}
+	phi := func(mm int) float64 {
+		counts := make([]int, 1<<uint(mm))
+		mask := 1<<uint(mm) - 1
+		// Circular extension: every of the n start positions contributes.
+		v := 0
+		for i := 0; i < mm-1; i++ {
+			v = v<<1 | int(bits[i])
+		}
+		for i := 0; i < n; i++ {
+			v = (v<<1 | int(bits[(i+mm-1)%n])) & mask
+			counts[v]++
+		}
+		s := 0.0
+		for _, c := range counts {
+			if c > 0 {
+				p := float64(c) / float64(n)
+				s += p * math.Log(p)
+			}
+		}
+		return s
+	}
+	apen := phi(m) - phi(m+1)
+	chi2 := 2 * float64(n) * (math.Ln2 - apen)
+	return igamc(math.Pow(2, float64(m-1)), chi2/2), nil
+}
+
+// Serial is the serial test (§2.11) with block length m; it returns the
+// two p-values (∇ψ² and ∇²ψ²).
+func Serial(bits []uint8, m int) (p1, p2 float64, err error) {
+	n := len(bits)
+	if n < 8 || m < 3 || m >= n {
+		return 0, 0, errShort
+	}
+	psi2 := func(mm int) float64 {
+		if mm == 0 {
+			return 0
+		}
+		counts := make([]int, 1<<uint(mm))
+		mask := 1<<uint(mm) - 1
+		v := 0
+		for i := 0; i < mm-1; i++ {
+			v = v<<1 | int(bits[i])
+		}
+		for i := 0; i < n; i++ {
+			v = (v<<1 | int(bits[(i+mm-1)%n])) & mask
+			counts[v]++
+		}
+		s := 0.0
+		for _, c := range counts {
+			s += float64(c) * float64(c)
+		}
+		return s*math.Pow(2, float64(mm))/float64(n) - float64(n)
+	}
+	pm, pm1, pm2 := psi2(m), psi2(m-1), psi2(m-2)
+	d1 := pm - pm1
+	d2 := pm - 2*pm1 + pm2
+	p1 = igamc(math.Pow(2, float64(m-2)), d1/2)
+	p2 = igamc(math.Pow(2, float64(m-3)), d2/2)
+	return p1, p2, nil
+}
+
+// linearComplexityPi are the §2.10 class probabilities for K = 6.
+var linearComplexityPi = []float64{0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833}
+
+// LinearComplexity is the linear complexity test (§2.10) with block
+// length M (the spec recommends 500 ≤ M ≤ 5000).
+func LinearComplexity(bits []uint8, M int) (float64, error) {
+	n := len(bits)
+	if M < 4 {
+		return 0, errShort
+	}
+	N := n / M
+	if N < 1 {
+		return 0, errShort
+	}
+	const K = 6
+	sign := 1.0
+	if M%2 == 1 {
+		sign = -1.0
+	}
+	mu := float64(M)/2 + (9+(-sign))/36 - (float64(M)/3+2.0/9)/math.Pow(2, float64(M))
+	v := make([]int, K+1)
+	for i := 0; i < N; i++ {
+		L := berlekampMassey(bits[i*M : (i+1)*M])
+		// T = (-1)^M (L - μ) + 2/9.
+		T := sign*(float64(L)-mu) + 2.0/9
+		cls := 0
+		switch {
+		case T <= -2.5:
+			cls = 0
+		case T <= -1.5:
+			cls = 1
+		case T <= -0.5:
+			cls = 2
+		case T <= 0.5:
+			cls = 3
+		case T <= 1.5:
+			cls = 4
+		case T <= 2.5:
+			cls = 5
+		default:
+			cls = 6
+		}
+		v[cls]++
+	}
+	chi2 := 0.0
+	for i := 0; i <= K; i++ {
+		e := float64(N) * linearComplexityPi[i]
+		chi2 += sq(float64(v[i])-e) / e
+	}
+	return igamc(K/2.0, chi2/2), nil
+}
+
+// ExcursionResult pairs one walk state with its p-value.
+type ExcursionResult struct {
+	State int
+	P     float64
+}
+
+// RandomExcursions is the random excursions test (§2.14): the number of
+// visits to states x ∈ {±1..±4} per zero-crossing cycle of the cumulative
+// walk. The spec requires at least 500 cycles; fewer is reported as an
+// error (test not applicable).
+func RandomExcursions(bits []uint8) ([]ExcursionResult, error) {
+	n := len(bits)
+	if n < 1000 {
+		return nil, errShort
+	}
+	// Build the cycles of the walk S.
+	type cycleCounts [9]int // visit counts for states -4..-1, (0 unused), 1..4 mapped below
+	var cycles []cycleCounts
+	var cur cycleCounts
+	s := 0
+	for i := 0; i < n; i++ {
+		s += 2*int(bits[i]) - 1
+		if s == 0 {
+			cycles = append(cycles, cur)
+			cur = cycleCounts{}
+		} else if s >= -4 && s <= 4 {
+			cur[stateIndex(s)]++
+		}
+	}
+	// The final partial cycle (ending with the walk forced back to zero)
+	// counts as a cycle, per the spec.
+	cycles = append(cycles, cur)
+	J := len(cycles)
+	if J < 500 {
+		return nil, fmt.Errorf("sp80022: random excursions requires ≥ 500 cycles, have %d", J)
+	}
+	states := []int{-4, -3, -2, -1, 1, 2, 3, 4}
+	out := make([]ExcursionResult, 0, len(states))
+	for _, x := range states {
+		// ν_k = number of cycles visiting state x exactly k times (k ≥ 5
+		// collapsed).
+		var v [6]int
+		idx := stateIndex(x)
+		for _, c := range cycles {
+			k := c[idx]
+			if k > 5 {
+				k = 5
+			}
+			v[k]++
+		}
+		chi2 := 0.0
+		for k := 0; k <= 5; k++ {
+			pk := excursionPi(k, x)
+			e := float64(J) * pk
+			chi2 += sq(float64(v[k])-e) / e
+		}
+		out = append(out, ExcursionResult{State: x, P: igamc(5.0/2, chi2/2)})
+	}
+	return out, nil
+}
+
+func stateIndex(x int) int {
+	if x < 0 {
+		return x + 4 // -4..-1 → 0..3
+	}
+	return x + 4 // 1..4 → 5..8
+}
+
+// excursionPi is the closed-form π_k(x) of §3.14.
+func excursionPi(k, x int) float64 {
+	ax := math.Abs(float64(x))
+	switch {
+	case k == 0:
+		return 1 - 1/(2*ax)
+	case k < 5:
+		return 1 / (4 * ax * ax) * math.Pow(1-1/(2*ax), float64(k-1))
+	default:
+		return 1 / (2 * ax) * math.Pow(1-1/(2*ax), 4)
+	}
+}
+
+// RandomExcursionsVariant is the §2.15 variant: total visits ξ(x) to the
+// eighteen states x ∈ {±1..±9} across the whole walk.
+func RandomExcursionsVariant(bits []uint8) ([]ExcursionResult, error) {
+	n := len(bits)
+	if n < 1000 {
+		return nil, errShort
+	}
+	visits := map[int]int{}
+	s := 0
+	J := 0
+	for i := 0; i < n; i++ {
+		s += 2*int(bits[i]) - 1
+		if s == 0 {
+			J++
+		} else if s >= -9 && s <= 9 {
+			visits[s]++
+		}
+	}
+	J++ // final partial cycle
+	if J < 500 {
+		return nil, fmt.Errorf("sp80022: random excursions variant requires ≥ 500 cycles, have %d", J)
+	}
+	out := make([]ExcursionResult, 0, 18)
+	for x := -9; x <= 9; x++ {
+		if x == 0 {
+			continue
+		}
+		xi := float64(visits[x])
+		den := math.Sqrt(2 * float64(J) * (4*math.Abs(float64(x)) - 2))
+		out = append(out, ExcursionResult{State: x, P: math.Erfc(math.Abs(xi-float64(J)) / den)})
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package sp80022
+
+import (
+	"fmt"
+	"math"
+)
+
+// TemplateResult pairs one template with its p-value.
+type TemplateResult struct {
+	Template []uint8
+	P        float64
+}
+
+// NonOverlappingTemplate is the non-overlapping template matching test
+// (§2.7): for every aperiodic template of length m, occurrence counts in
+// N = 8 blocks are compared to the theoretical mean. It returns one
+// p-value per template (148 for the standard m = 9).
+func NonOverlappingTemplate(bits []uint8, m int) ([]TemplateResult, error) {
+	n := len(bits)
+	const N = 8
+	M := n / N
+	if m < 2 || M < 2*m {
+		return nil, errShort
+	}
+	mu := float64(M-m+1) / math.Pow(2, float64(m))
+	sigma2 := float64(M) * (1/math.Pow(2, float64(m)) - float64(2*m-1)/math.Pow(2, float64(2*m)))
+	if mu <= 0 || sigma2 <= 0 {
+		return nil, errShort
+	}
+	templates := aperiodicTemplates(m)
+	out := make([]TemplateResult, 0, len(templates))
+	for _, tpl := range templates {
+		chi2 := 0.0
+		for blk := 0; blk < N; blk++ {
+			seg := bits[blk*M : (blk+1)*M]
+			w := 0
+			for i := 0; i+m <= M; {
+				if matchAt(seg, tpl, i) {
+					w++
+					i += m // non-overlapping: skip the whole template
+				} else {
+					i++
+				}
+			}
+			chi2 += sq(float64(w)-mu) / sigma2
+		}
+		out = append(out, TemplateResult{Template: tpl, P: igamc(N/2.0, chi2/2)})
+	}
+	return out, nil
+}
+
+func matchAt(seg, tpl []uint8, at int) bool {
+	for j, t := range tpl {
+		if seg[at+j] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// overlapping-template parameters for the standard configuration m = 9,
+// M = 1032, K = 5 — the class probabilities tabulated in the sts
+// reference code (§2.8).
+var overlappingPi = []float64{0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865}
+
+// OverlappingTemplate is the overlapping template matching test (§2.8)
+// with the all-ones template of length m = 9 and block length M = 1032.
+func OverlappingTemplate(bits []uint8) (float64, error) {
+	const (
+		m = 9
+		M = 1032
+		K = 5
+	)
+	n := len(bits)
+	N := n / M
+	if N < 1 {
+		return 0, errShort
+	}
+	v := make([]int, K+1)
+	for blk := 0; blk < N; blk++ {
+		seg := bits[blk*M : (blk+1)*M]
+		count := 0
+		for i := 0; i+m <= M; i++ {
+			all := true
+			for j := 0; j < m; j++ {
+				if seg[i+j] != 1 {
+					all = false
+					break
+				}
+			}
+			if all {
+				count++
+			}
+		}
+		if count > K {
+			count = K
+		}
+		v[count]++
+	}
+	chi2 := 0.0
+	for i := 0; i <= K; i++ {
+		e := float64(N) * overlappingPi[i]
+		chi2 += sq(float64(v[i])-e) / e
+	}
+	return igamc(K/2.0, chi2/2), nil
+}
+
+// universalParams holds the §2.9 expected-value/variance table rows
+// indexed by L.
+var universalExpected = map[int][2]float64{
+	6:  {5.2177052, 2.954},
+	7:  {6.1962507, 3.125},
+	8:  {7.1836656, 3.238},
+	9:  {8.1764248, 3.311},
+	10: {9.1723243, 3.356},
+	11: {10.170032, 3.384},
+	12: {11.168765, 3.401},
+	13: {12.168070, 3.410},
+	14: {13.167693, 3.416},
+	15: {14.167488, 3.419},
+	16: {15.167379, 3.421},
+}
+
+// Universal is Maurer's universal statistical test (§2.9). The block
+// length L is chosen from the spec's n-dependent table; n must be at
+// least 387,840 bits.
+func Universal(bits []uint8) (float64, error) {
+	n := len(bits)
+	L := 0
+	switch {
+	case n >= 1059061760:
+		L = 16
+	case n >= 496435200:
+		L = 15
+	case n >= 231669760:
+		L = 14
+	case n >= 107560960:
+		L = 13
+	case n >= 49643520:
+		L = 12
+	case n >= 22753280:
+		L = 11
+	case n >= 10342400:
+		L = 10
+	case n >= 4654080:
+		L = 9
+	case n >= 2068480:
+		L = 8
+	case n >= 904960:
+		L = 7
+	case n >= 387840:
+		L = 6
+	default:
+		return 0, fmt.Errorf("sp80022: universal test needs ≥ 387840 bits, have %d", n)
+	}
+	Q := 10 * (1 << uint(L))
+	K := n/L - Q
+	if K <= 0 {
+		return 0, errShort
+	}
+	table := make([]int, 1<<uint(L))
+	block := func(i int) int {
+		v := 0
+		for j := 0; j < L; j++ {
+			v = v<<1 | int(bits[i*L+j])
+		}
+		return v
+	}
+	for i := 0; i < Q; i++ {
+		table[block(i)] = i + 1
+	}
+	sum := 0.0
+	for i := Q; i < Q+K; i++ {
+		b := block(i)
+		sum += math.Log2(float64(i+1) - float64(table[b]))
+		table[b] = i + 1
+	}
+	fn := sum / float64(K)
+	row, ok := universalExpected[L]
+	if !ok {
+		return 0, errShort
+	}
+	ev, variance := row[0], row[1]
+	c := 0.7 - 0.8/float64(L) + (4+32/float64(L))*math.Pow(float64(K), -3/float64(L))/15
+	sigma := c * math.Sqrt(variance/float64(K))
+	return math.Erfc(math.Abs(fn-ev) / (math.Sqrt2 * sigma)), nil
+}
