@@ -1,0 +1,37 @@
+# Local mirror of .github/workflows/ci.yml — `make verify` runs the
+# exact CI steps, so tier-1 verification is one command.
+
+GO ?= go
+
+.PHONY: verify fmt-check vet build test race bench-smoke fmt serve
+
+verify: fmt-check vet build test race bench-smoke
+	@echo "verify: all checks passed"
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/core/... ./internal/server/...
+
+# One iteration of every benchmark, so bench code can never rot.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+serve:
+	$(GO) run ./cmd/bsrngd

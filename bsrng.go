@@ -71,6 +71,14 @@ type Stream = core.Stream
 // StreamConfig tunes the Stream (zero values = all CPUs, 64 KiB staging).
 type StreamConfig = core.StreamConfig
 
+// StreamStats is a snapshot of a Stream's throughput counters
+// (chunks produced, bytes delivered, free-list recycle hits).
+type StreamStats = core.StreamStats
+
+// ErrStreamClosed is returned by Stream.Read once Close has been
+// observed.
+var ErrStreamClosed = core.ErrClosed
+
 // NewStream starts a Stream worker pool; call Close when done.
 func NewStream(alg Algorithm, seed uint64, cfg StreamConfig) (*Stream, error) {
 	return core.NewStream(alg, seed, cfg)

@@ -57,7 +57,6 @@ func run(w io.Writer, algName string, seed uint64, n int64, workers int, useHex 
 	}
 
 	out := bufio.NewWriterSize(w, 1<<20)
-	defer out.Flush()
 	buf := make([]byte, 64<<10)
 	for n > 0 {
 		k := int64(len(buf))
@@ -77,5 +76,7 @@ func run(w io.Writer, algName string, seed uint64, n int64, workers int, useHex 
 	if useHex {
 		fmt.Fprintln(out)
 	}
-	return nil
+	// Flush explicitly: a deferred Flush would drop the write error, so
+	// a full disk or closed pipe would report success.
+	return out.Flush()
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/hex"
+	"errors"
 	"testing"
 
 	bsrng "repro"
@@ -45,6 +46,37 @@ func TestRunParallelStreamDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatal("parallel CLI output is not deterministic")
+	}
+}
+
+// failWriter accepts limit bytes, then errors — a full disk / closed
+// pipe stand-in.
+type failWriter struct {
+	limit int
+	n     int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		k := w.limit - w.n
+		w.n = w.limit
+		return k, errors.New("disk full")
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+// A write failure surfaced only at flush time must still be reported:
+// the old deferred-Flush code dropped it and exited 0.
+func TestRunReportsFlushError(t *testing.T) {
+	// 1000 bytes fit inside the 1 MiB bufio buffer, so the underlying
+	// write — and its error — happen at Flush.
+	if err := run(&failWriter{limit: 100}, "grain", 5, 1000, 1, false); err == nil {
+		t.Fatal("write error at flush time was swallowed")
+	}
+	// And an error mid-stream (larger than the buffer) is reported too.
+	if err := run(&failWriter{limit: 100}, "grain", 5, 4<<20, 1, false); err == nil {
+		t.Fatal("write error mid-stream was swallowed")
 	}
 }
 

@@ -1,10 +1,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// ErrClosed is returned by Stream.Read once Close has been observed.
+var ErrClosed = errors.New("core: stream closed")
 
 // Stream is the multi-core BSRNG: W workers, each owning an independent
 // 64-lane bitsliced engine, mirror the paper's CUDA thread blocks. Every
@@ -22,10 +27,39 @@ type Stream struct {
 	free   chan []byte   // recycled buffers
 	stop   chan struct{}
 	wg     sync.WaitGroup
+	once   sync.Once
 
 	cur  []byte // chunk currently being consumed
 	pos  int
 	next int // worker whose chunk is consumed next
+
+	chunksProduced atomic.Uint64
+	bytesDelivered atomic.Uint64
+	recycleHits    atomic.Uint64
+}
+
+// StreamStats is a point-in-time snapshot of a Stream's internal
+// throughput counters, for engine-level observability (bsrngd exports
+// them on /metrics).
+type StreamStats struct {
+	// ChunksProduced counts staging chunks the workers handed to the
+	// consumer side.
+	ChunksProduced uint64
+	// BytesDelivered counts bytes copied out by Read.
+	BytesDelivered uint64
+	// RecycleHits counts staging buffers reused from the free list
+	// instead of freshly allocated.
+	RecycleHits uint64
+}
+
+// Stats returns a snapshot of the stream's counters. It is safe to call
+// concurrently with Read and Close.
+func (s *Stream) Stats() StreamStats {
+	return StreamStats{
+		ChunksProduced: s.chunksProduced.Load(),
+		BytesDelivered: s.bytesDelivered.Load(),
+		RecycleHits:    s.recycleHits.Load(),
+	}
 }
 
 // StreamConfig tunes the Stream; zero values select defaults
@@ -96,11 +130,16 @@ func (s *Stream) run(w int, eng engine) {
 		}
 		if cap(buf) < chunkLen {
 			buf = make([]byte, chunkLen)
+		} else {
+			s.recycleHits.Add(1)
 		}
 		buf = buf[:chunkLen]
 		for off := 0; off < chunkLen; off += blk {
 			eng.nextBlock(buf[off : off+blk])
 		}
+		// Counted at generation time, before delivery, so a consumer
+		// that has received a chunk always observes it in Stats.
+		s.chunksProduced.Add(1)
 		select {
 		case s.chunks[w] <- buf:
 		case <-s.stop:
@@ -109,8 +148,17 @@ func (s *Stream) run(w int, eng engine) {
 	}
 }
 
-// Read assembles the deterministic stream; it never fails.
+// Read assembles the deterministic stream. It fails only when the
+// Stream is closed: a Read racing (or following) Close returns the
+// bytes copied so far and ErrClosed. Read must not be called from more
+// than one goroutine at a time, but it is safe against a concurrent
+// Close.
 func (s *Stream) Read(p []byte) (int, error) {
+	select {
+	case <-s.stop:
+		return 0, ErrClosed
+	default:
+	}
 	n := len(p)
 	for len(p) > 0 {
 		if s.pos == len(s.cur) {
@@ -119,8 +167,14 @@ func (s *Stream) Read(p []byte) (int, error) {
 				case s.free <- s.cur:
 				default:
 				}
+				s.cur = nil
 			}
-			s.cur = <-s.chunks[s.next]
+			select {
+			case s.cur = <-s.chunks[s.next]:
+			case <-s.stop:
+				s.bytesDelivered.Add(uint64(n - len(p)))
+				return n - len(p), ErrClosed
+			}
 			s.next = (s.next + 1) % s.workers
 			s.pos = 0
 		}
@@ -128,20 +182,25 @@ func (s *Stream) Read(p []byte) (int, error) {
 		s.pos += k
 		p = p[k:]
 	}
+	s.bytesDelivered.Add(uint64(n))
 	return n, nil
 }
 
-// Close stops the workers. The Stream must not be read after Close.
+// Close stops the workers and unblocks any in-flight Read (which then
+// returns ErrClosed). Close is idempotent and safe to call while
+// another goroutine is reading.
 func (s *Stream) Close() {
-	close(s.stop)
-	// Drain so workers blocked on delivery observe the stop.
-	for _, c := range s.chunks {
-		select {
-		case <-c:
-		default:
+	s.once.Do(func() {
+		close(s.stop)
+		// Drain so workers blocked on delivery observe the stop.
+		for _, c := range s.chunks {
+			select {
+			case <-c:
+			default:
+			}
 		}
-	}
-	s.wg.Wait()
+		s.wg.Wait()
+	})
 }
 
 // Workers reports the pool size.

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.NewGauge("level", "")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP reqs_total requests",
+		"# TYPE reqs_total counter",
+		"reqs_total 5",
+		"# TYPE level gauge",
+		"level 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.555) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		"lat_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledCounter(t *testing.T) {
+	r := NewRegistry()
+	lc := r.NewLabeledCounter("reqs_total", "", "alg", "status")
+	lc.With("mickey", "200").Add(3)
+	lc.With("grain", "400").Inc()
+	lc.With("mickey", "200").Inc() // same child
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	if !strings.Contains(out, `reqs_total{alg="mickey",status="200"} 4`) {
+		t.Errorf("missing mickey row:\n%s", out)
+	}
+	if !strings.Contains(out, `reqs_total{alg="grain",status="400"} 1`) {
+		t.Errorf("missing grain row:\n%s", out)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.NewGaugeFunc("scrape_time", "", func() float64 { return v })
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "scrape_time 1.5") {
+		t.Errorf("gauge func not rendered:\n%s", b.String())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.NewCounter("x", "")
+	r.NewCounter("x", "")
+}
+
+// Concurrent updates must be race-free (run under -race in CI).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	h := r.NewHistogram("h", "", []float64{1})
+	lc := r.NewLabeledCounter("lc", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 3))
+				lc.With("a").Inc()
+			}
+		}(i)
+	}
+	var b strings.Builder
+	r.WriteText(&b) // scrape while updating
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || lc.With("a").Value() != 8000 {
+		t.Fatalf("lost updates: c=%d h=%d lc=%d", c.Value(), h.Count(), lc.With("a").Value())
+	}
+}

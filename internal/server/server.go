@@ -1,0 +1,324 @@
+// Package server is bsrngd's serving layer: an HTTP front end over a
+// sharded pool of deterministic core.Stream worker pools — the paper's
+// bitsliced engines operated as a bulk entropy service. Each algorithm
+// gets its own shard set; requests check a shard out (round-robin),
+// stream bytes from it, and return it. Everything is instrumented
+// through internal/metrics and exposed on /metrics.
+//
+// Endpoints:
+//
+//	GET /bytes?alg=mickey&n=1024[&hex=1]  — n pseudo-random bytes
+//	GET /healthz                          — 200 ok / 503 draining
+//	GET /metrics                          — text exposition
+package server
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Config tunes the service; zero values select the documented defaults.
+type Config struct {
+	// Seed is the deterministic base seed. Shard 0 of every algorithm
+	// serves exactly the byte stream of core.NewStream(alg, Seed, ...).
+	Seed uint64
+	// Algorithms to serve; nil means all four engines.
+	Algorithms []core.Algorithm
+	// ShardsPerAlg is the number of independent streams per algorithm
+	// (default 2). More shards = more concurrent /bytes requests per
+	// algorithm before checkout blocks.
+	ShardsPerAlg int
+	// WorkersPerShard is the core.Stream worker count per shard
+	// (default: NumCPU spread evenly over all shards, min 1).
+	WorkersPerShard int
+	// StagingBytes is the per-worker chunk size (default 64 KiB).
+	StagingBytes int
+	// MaxRequestBytes caps n on /bytes (default 16 MiB).
+	MaxRequestBytes int64
+	// RequestTimeout bounds shard checkout + generation (default 30s).
+	RequestTimeout time.Duration
+}
+
+// Server owns the shard pools, the metrics registry and the HTTP mux.
+type Server struct {
+	cfg   Config
+	pools map[core.Algorithm]*pool
+	reg   *metrics.Registry
+	mux   *http.ServeMux
+
+	mu       sync.RWMutex // guards draining against inflight.Add
+	draining bool
+	inflight sync.WaitGroup
+
+	bytesServed   *metrics.Counter
+	requests      *metrics.LabeledCounter
+	checkoutLat   *metrics.Histogram
+	streamsActive *metrics.Gauge
+	shardsBusy    *metrics.Gauge
+
+	// testHookServing, when set, runs while a /bytes request holds its
+	// shard — it lets tests freeze a request in flight.
+	testHookServing func()
+}
+
+// New builds the pools and registers the metric set.
+func New(cfg Config) (*Server, error) {
+	if cfg.Algorithms == nil {
+		cfg.Algorithms = core.Algorithms
+	}
+	if len(cfg.Algorithms) == 0 {
+		return nil, fmt.Errorf("server: no algorithms configured")
+	}
+	if cfg.ShardsPerAlg == 0 {
+		cfg.ShardsPerAlg = 2
+	}
+	if cfg.ShardsPerAlg < 1 {
+		return nil, fmt.Errorf("server: shards per algorithm %d out of range", cfg.ShardsPerAlg)
+	}
+	if cfg.WorkersPerShard == 0 {
+		cfg.WorkersPerShard = runtime.NumCPU() / (len(cfg.Algorithms) * cfg.ShardsPerAlg)
+		if cfg.WorkersPerShard < 1 {
+			cfg.WorkersPerShard = 1
+		}
+	}
+	if cfg.MaxRequestBytes == 0 {
+		cfg.MaxRequestBytes = 16 << 20
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+
+	s := &Server{
+		cfg:   cfg,
+		pools: make(map[core.Algorithm]*pool, len(cfg.Algorithms)),
+		reg:   metrics.NewRegistry(),
+		mux:   http.NewServeMux(),
+	}
+	s.bytesServed = s.reg.NewCounter("bytes_served_total",
+		"Random bytes delivered to clients.")
+	s.requests = s.reg.NewLabeledCounter("requests_total",
+		"Requests to /bytes by algorithm and HTTP status.", "alg", "status")
+	s.checkoutLat = s.reg.NewHistogram("shard_checkout_seconds",
+		"Time spent acquiring a stream shard.",
+		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1})
+	s.streamsActive = s.reg.NewGauge("streams_active",
+		"Live core.Stream pools (shards) across all algorithms.")
+	s.shardsBusy = s.reg.NewGauge("shards_busy",
+		"Shards currently checked out by requests.")
+
+	for _, alg := range cfg.Algorithms {
+		if _, dup := s.pools[alg]; dup {
+			return nil, fmt.Errorf("server: algorithm %v configured twice", alg)
+		}
+		p, err := newPool(alg, cfg.Seed, cfg.ShardsPerAlg, cfg.WorkersPerShard, cfg.StagingBytes)
+		if err != nil {
+			s.closePools()
+			return nil, err
+		}
+		s.pools[alg] = p
+	}
+	s.streamsActive.Set(int64(len(cfg.Algorithms) * cfg.ShardsPerAlg))
+	s.reg.NewGaugeFunc("engine_chunks_produced_total",
+		"Staging chunks produced by stream workers, summed over shards.",
+		func() float64 { return float64(s.poolStats().ChunksProduced) })
+	s.reg.NewGaugeFunc("engine_bytes_delivered_total",
+		"Bytes delivered by stream Read, summed over shards.",
+		func() float64 { return float64(s.poolStats().BytesDelivered) })
+	s.reg.NewGaugeFunc("engine_recycle_hits_total",
+		"Staging buffers recycled from the free list, summed over shards.",
+		func() float64 { return float64(s.poolStats().RecycleHits) })
+
+	s.mux.HandleFunc("GET /bytes", s.handleBytes)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) poolStats() core.StreamStats {
+	var sum core.StreamStats
+	for _, p := range s.pools {
+		st := p.stats()
+		sum.ChunksProduced += st.ChunksProduced
+		sum.BytesDelivered += st.BytesDelivered
+		sum.RecycleHits += st.RecycleHits
+	}
+	return sum
+}
+
+// enter registers an in-flight request unless the server is draining.
+func (s *Server) enter() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Shutdown drains the service: new /bytes and /healthz requests get
+// 503, in-flight requests run to completion, then the stream pools are
+// closed. If ctx expires first the pools are closed anyway, cutting
+// stragglers short (their stream reads return core.ErrClosed), and the
+// context error is returned. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.closePools()
+	s.streamsActive.Set(0)
+	return err
+}
+
+func (s *Server) closePools() {
+	for _, p := range s.pools {
+		p.close()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}
+
+// fail records and writes an error response for /bytes.
+func (s *Server) fail(w http.ResponseWriter, algLabel string, status int, msg string) {
+	s.requests.With(algLabel, strconv.Itoa(status)).Inc()
+	http.Error(w, msg, status)
+}
+
+func (s *Server) handleBytes(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	algName := q.Get("alg")
+	if algName == "" {
+		algName = "mickey"
+	}
+	alg, err := core.ParseAlgorithm(algName)
+	if err != nil {
+		s.fail(w, "invalid", http.StatusBadRequest, err.Error())
+		return
+	}
+	p, ok := s.pools[alg]
+	if !ok {
+		s.fail(w, alg.String(), http.StatusBadRequest,
+			fmt.Sprintf("algorithm %v not served", alg))
+		return
+	}
+	n := int64(32)
+	if v := q.Get("n"); v != "" {
+		n, err = strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			s.fail(w, alg.String(), http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+	}
+	if n > s.cfg.MaxRequestBytes {
+		s.fail(w, alg.String(), http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("n exceeds per-request cap %d", s.cfg.MaxRequestBytes))
+		return
+	}
+	useHex := false
+	if v := q.Get("hex"); v != "" && v != "0" && v != "false" {
+		useHex = true
+	}
+
+	if !s.enter() {
+		s.fail(w, alg.String(), http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	t0 := time.Now()
+	sh, err := p.checkout(ctx)
+	s.checkoutLat.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		s.fail(w, alg.String(), http.StatusServiceUnavailable, "all shards busy")
+		return
+	}
+	s.shardsBusy.Add(1)
+	defer func() {
+		sh.release()
+		s.shardsBusy.Add(-1)
+	}()
+	if s.testHookServing != nil {
+		s.testHookServing()
+	}
+
+	if useHex {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	}
+	w.Header().Set("X-Bsrng-Algorithm", alg.String())
+	w.Header().Set("X-Bsrng-Shard", strconv.Itoa(sh.id))
+
+	buf := make([]byte, 64<<10)
+	var served int64
+	for served < n {
+		k := int64(len(buf))
+		if k > n-served {
+			k = n - served
+		}
+		if _, err := sh.stream.Read(buf[:k]); err != nil {
+			break // stream closed under us (forced shutdown); stop short
+		}
+		var werr error
+		if useHex {
+			_, werr = fmt.Fprint(w, hex.EncodeToString(buf[:k]))
+		} else {
+			_, werr = w.Write(buf[:k])
+		}
+		if werr != nil {
+			break // client went away
+		}
+		served += k
+	}
+	if useHex {
+		fmt.Fprintln(w)
+	}
+	s.bytesServed.Add(uint64(served))
+	s.requests.With(alg.String(), strconv.Itoa(http.StatusOK)).Inc()
+}
