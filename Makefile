@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench-smoke fmt serve
+.PHONY: verify fmt-check vet build test race bench-smoke bench fuzz fmt serve
 
 verify: fmt-check vet build test race bench-smoke
 	@echo "verify: all checks passed"
@@ -29,6 +29,20 @@ race:
 # One iteration of every benchmark, so bench code can never rot.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Measured CPU throughput (alg × lanes × workers) as machine-readable
+# JSON. BENCH_MINTIME trades accuracy for runtime.
+BENCH_MINTIME ?= 1s
+bench:
+	$(GO) run ./cmd/benchcpu -out BENCH_cpu.json -mintime $(BENCH_MINTIME)
+
+# A short pass over every native fuzz target (regression corpora under
+# internal/bitslice/testdata/fuzz always run as part of `make test`).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzPackBitsRoundTrip -fuzztime=$(FUZZTIME) ./internal/bitslice/
+	$(GO) test -run=NONE -fuzz=FuzzPackWordsRoundTrip -fuzztime=$(FUZZTIME) ./internal/bitslice/
+	$(GO) test -run=NONE -fuzz=FuzzTransposeVec -fuzztime=$(FUZZTIME) ./internal/bitslice/
 
 fmt:
 	gofmt -w .

@@ -55,20 +55,37 @@ var Algorithms = core.Algorithms
 // ParseAlgorithm maps "mickey", "grain" or "aes-ctr" to an Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
 
-// Generator is a deterministic single-engine generator (64 cipher lanes
-// behind an io.Reader).
+// DefaultLanes is the engine datapath width used when none is chosen:
+// the native 64-lane uint64 datapath.
+const DefaultLanes = core.DefaultLanes
+
+// SupportedLanes lists the valid engine lane widths (64, 256 and 512).
+// The emitted byte stream is identical at every width — lane count only
+// trades memory and per-pass batch size for instruction-level
+// parallelism.
+var SupportedLanes = core.SupportedLanes
+
+// Generator is a deterministic single-engine generator (a wide-lane
+// bitsliced cipher bank behind an io.Reader).
 type Generator = core.Generator
 
-// New builds a seeded Generator.
+// New builds a seeded Generator at the default lane width.
 func New(alg Algorithm, seed uint64) (*Generator, error) {
 	return core.NewGenerator(alg, seed)
+}
+
+// NewWithLanes builds a seeded Generator at an explicit lane width
+// (0 = DefaultLanes; see SupportedLanes).
+func NewWithLanes(alg Algorithm, seed uint64, lanes int) (*Generator, error) {
+	return core.NewGeneratorLanes(alg, seed, lanes)
 }
 
 // Stream is the multi-core generator: one bitsliced engine per worker,
 // deterministic output for a fixed configuration.
 type Stream = core.Stream
 
-// StreamConfig tunes the Stream (zero values = all CPUs, 64 KiB staging).
+// StreamConfig tunes the Stream (zero values = all CPUs, 64 KiB staging,
+// DefaultLanes-wide engines).
 type StreamConfig = core.StreamConfig
 
 // StreamStats is a snapshot of a Stream's throughput counters
@@ -88,6 +105,12 @@ func NewStream(alg Algorithm, seed uint64, cfg StreamConfig) (*Stream, error) {
 // number of workers (0 = all CPUs).
 func Fill(alg Algorithm, seed uint64, workers int, dst []byte) error {
 	return core.Fill(alg, seed, workers, dst)
+}
+
+// FillLanes is Fill at an explicit lane width (0 = DefaultLanes). The
+// output is identical at every width.
+func FillLanes(alg Algorithm, seed uint64, workers, lanes int, dst []byte) error {
+	return core.FillLanes(alg, seed, workers, lanes, dst)
 }
 
 // Source64 adapts a Generator to math/rand.Source64.

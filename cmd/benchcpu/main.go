@@ -1,0 +1,132 @@
+// Command benchcpu measures the sustained CPU throughput of every
+// bitsliced engine at every supported lane width and worker count, and
+// writes the result as machine-readable JSON (the committed
+// BENCH_cpu.json; `make bench` regenerates it and CI uploads it as an
+// artifact).
+//
+// Usage:
+//
+//	benchcpu -out BENCH_cpu.json -mintime 1s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// result is one measured cell of the alg × lanes × workers grid.
+type result struct {
+	Alg         string  `json:"alg"`
+	Lanes       int     `json:"lanes"`
+	Workers     int     `json:"workers"`
+	Bytes       int64   `json:"bytes"`
+	Seconds     float64 `json:"seconds"`
+	BytesPerSec float64 `json:"bytes_per_sec"`
+}
+
+// report is the full BENCH_cpu.json document.
+type report struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	MinSeconds float64  `json:"min_seconds_per_cell"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_cpu.json", "output path (- for stdout)")
+	minTime := flag.Duration("mintime", time.Second, "minimum measurement time per cell")
+	flag.Parse()
+
+	rep, err := measure(*minTime, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcpu:", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcpu:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcpu:", err)
+		os.Exit(1)
+	}
+}
+
+// measure runs the full grid. Each cell reads from a dedicated Stream so
+// engine construction (key schedules, init clocking) is amortized out of
+// the steady-state number; progress goes to log.
+func measure(minTime time.Duration, log io.Writer) (*report, error) {
+	rep := &report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		MinSeconds: minTime.Seconds(),
+	}
+	workerSet := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerSet = append(workerSet, n)
+	}
+	buf := make([]byte, 4<<20)
+	for _, alg := range core.Algorithms {
+		for _, lanes := range core.SupportedLanes {
+			for _, workers := range workerSet {
+				r, err := measureCell(alg, lanes, workers, minTime, buf)
+				if err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(log, "benchcpu: %-8s lanes=%-4d workers=%-3d %8.1f MB/s\n",
+					r.Alg, r.Lanes, r.Workers, r.BytesPerSec/1e6)
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func measureCell(alg core.Algorithm, lanes, workers int, minTime time.Duration, buf []byte) (result, error) {
+	s, err := core.NewStream(alg, 1, core.StreamConfig{Workers: workers, Lanes: lanes})
+	if err != nil {
+		return result{}, err
+	}
+	defer s.Close()
+	// Warm up: fill the staging pipeline before the clock starts.
+	if _, err := s.Read(buf); err != nil {
+		return result{}, err
+	}
+	var total int64
+	start := time.Now()
+	for time.Since(start) < minTime {
+		n, err := s.Read(buf)
+		if err != nil {
+			return result{}, err
+		}
+		total += int64(n)
+	}
+	elapsed := time.Since(start).Seconds()
+	return result{
+		Alg:         alg.String(),
+		Lanes:       lanes,
+		Workers:     workers,
+		Bytes:       total,
+		Seconds:     elapsed,
+		BytesPerSec: float64(total) / elapsed,
+	}, nil
+}

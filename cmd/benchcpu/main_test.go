@@ -1,0 +1,45 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// A fast measurement pass must cover the whole alg × lanes × workers
+// grid and report sane numbers — this is the shape contract for the
+// committed BENCH_cpu.json.
+func TestMeasureGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement loop")
+	}
+	rep, err := measure(time.Millisecond, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWorkers := 1
+	if rep.NumCPU > 1 {
+		wantWorkers = 2
+	}
+	wantCells := len(core.Algorithms) * len(core.SupportedLanes) * wantWorkers
+	if len(rep.Results) != wantCells {
+		t.Fatalf("got %d cells, want %d", len(rep.Results), wantCells)
+	}
+	seen := map[[3]interface{}]bool{}
+	for _, r := range rep.Results {
+		if r.BytesPerSec <= 0 || r.Bytes <= 0 || r.Seconds <= 0 {
+			t.Errorf("%s lanes=%d workers=%d: non-positive measurement %+v",
+				r.Alg, r.Lanes, r.Workers, r)
+		}
+		key := [3]interface{}{r.Alg, r.Lanes, r.Workers}
+		if seen[key] {
+			t.Errorf("duplicate cell %v", key)
+		}
+		seen[key] = true
+	}
+	if rep.GoVersion == "" || rep.GOARCH == "" || rep.NumCPU < 1 {
+		t.Errorf("incomplete metadata: %+v", rep)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/bitslice"
 )
 
 // FIPS-197 Appendix C known-answer vectors.
@@ -106,7 +108,7 @@ func TestGfMulPlanes(t *testing.T) {
 	rng.Read(b)
 	ap := packBytesPlanes(a)
 	bp := packBytesPlanes(b)
-	var dp [8]uint64
+	var dp [8]bitslice.V64
 	gfMulP(dp[:], ap[:], bp[:])
 	for l := 0; l < 64; l++ {
 		if got := unpackBytePlane(&dp, l); got != mulGF(a[l], b[l]) {
@@ -120,7 +122,7 @@ func TestGfSquarePlanes(t *testing.T) {
 	a := make([]byte, 64)
 	rng.Read(a)
 	ap := packBytesPlanes(a)
-	var dp [8]uint64
+	var dp [8]bitslice.V64
 	gfSquareP(dp[:], ap[:])
 	for l := 0; l < 64; l++ {
 		if got := unpackBytePlane(&dp, l); got != mulGF(a[l], a[l]) {
@@ -152,7 +154,7 @@ func TestXtimePlanes(t *testing.T) {
 		a[i] = byte(i * 7)
 	}
 	ap := packBytesPlanes(a)
-	var dp [8]uint64
+	var dp [8]bitslice.V64
 	xtimeP(dp[:], ap[:])
 	for l := 0; l < 64; l++ {
 		if got := unpackBytePlane(&dp, l); got != mulGF(a[l], 2) {
@@ -161,22 +163,22 @@ func TestXtimePlanes(t *testing.T) {
 	}
 }
 
-func packBytesPlanes(vals []byte) [8]uint64 {
-	var p [8]uint64
+func packBytesPlanes(vals []byte) [8]bitslice.V64 {
+	var p [8]bitslice.V64
 	for l, v := range vals {
 		for k := 0; k < 8; k++ {
 			if v&(1<<uint(k)) != 0 {
-				p[k] |= 1 << uint(l)
+				p[k][0] |= 1 << uint(l)
 			}
 		}
 	}
 	return p
 }
 
-func unpackBytePlane(p *[8]uint64, lane int) byte {
+func unpackBytePlane(p *[8]bitslice.V64, lane int) byte {
 	var v byte
 	for k := 0; k < 8; k++ {
-		v |= byte((p[k]>>uint(lane))&1) << uint(k)
+		v |= byte((p[k][0]>>uint(lane))&1) << uint(k)
 	}
 	return v
 }
@@ -382,7 +384,7 @@ func BenchmarkSlicedEncrypt64Lanes(b *testing.B) {
 		rng.Read(keys[l])
 	}
 	sl, _ := NewSliced(keys)
-	var st [128]uint64
+	var st [128]bitslice.V64
 	b.SetBytes(64 * 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

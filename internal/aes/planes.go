@@ -1,9 +1,11 @@
 package aes
 
+import "repro/internal/bitslice"
+
 // Bit-plane GF(2^8) arithmetic for the bitsliced S-box. A byte position is
-// eight uint64 planes (plane k = bit k of that byte across 64 lanes); all
+// eight V-planes (plane k = bit k of that byte across the lanes); all
 // functions below are straight-line word operations, so one call performs
-// 64 field operations at once.
+// 64·K field operations at once (K = words per plane).
 //
 // The S-box is computed structurally — Fermat inversion x^254 (four plane
 // multiplications plus free squarings) followed by the affine map — rather
@@ -13,43 +15,47 @@ package aes
 
 // gfMulP multiplies two plane bytes: dst = a·b in GF(2^8). dst must not
 // alias a or b.
-func gfMulP(dst, a, b []uint64) {
-	var c [15]uint64
+func gfMulP[V bitslice.Vec](dst, a, b []V) {
+	var c [15]V
 	for i := 0; i < 8; i++ {
 		ai := a[i]
-		if true { // keep loop shape simple; the compiler unrolls well
-			c[i] ^= ai & b[0]
-			c[i+1] ^= ai & b[1]
-			c[i+2] ^= ai & b[2]
-			c[i+3] ^= ai & b[3]
-			c[i+4] ^= ai & b[4]
-			c[i+5] ^= ai & b[5]
-			c[i+6] ^= ai & b[6]
-			c[i+7] ^= ai & b[7]
+		for k := 0; k < len(ai); k++ {
+			c[i][k] ^= ai[k] & b[0][k]
+			c[i+1][k] ^= ai[k] & b[1][k]
+			c[i+2][k] ^= ai[k] & b[2][k]
+			c[i+3][k] ^= ai[k] & b[3][k]
+			c[i+4][k] ^= ai[k] & b[4][k]
+			c[i+5][k] ^= ai[k] & b[5][k]
+			c[i+6][k] ^= ai[k] & b[6][k]
+			c[i+7][k] ^= ai[k] & b[7][k]
 		}
 	}
 	// Reduce modulo x^8 + x^4 + x^3 + x + 1: x^k ≡ x^(k-4) + x^(k-5) +
 	// x^(k-7) + x^(k-8) for k ≥ 8, processed high to low so overflow terms
 	// cascade correctly.
-	for k := 14; k >= 8; k-- {
-		t := c[k]
-		c[k-4] ^= t
-		c[k-5] ^= t
-		c[k-7] ^= t
-		c[k-8] ^= t
+	for j := 14; j >= 8; j-- {
+		t := c[j]
+		for k := 0; k < len(t); k++ {
+			c[j-4][k] ^= t[k]
+			c[j-5][k] ^= t[k]
+			c[j-7][k] ^= t[k]
+			c[j-8][k] ^= t[k]
+		}
 	}
 	copy(dst[:8], c[:8])
 }
 
 // gfSquareP squares a plane byte using the squaring bit-matrix generated
 // in gf.go (squaring is linear over GF(2), so it costs only XORs).
-func gfSquareP(dst, a []uint64) {
-	var out [8]uint64
+func gfSquareP[V bitslice.Vec](dst, a []V) {
+	var out [8]V
 	for i := 0; i < 8; i++ {
 		m := sqMat[i]
 		for j := 0; j < 8; j++ {
 			if m&(1<<uint(j)) != 0 {
-				out[j] ^= a[i]
+				for k := 0; k < len(out[j]); k++ {
+					out[j][k] ^= a[i][k]
+				}
 			}
 		}
 	}
@@ -59,8 +65,8 @@ func gfSquareP(dst, a []uint64) {
 // gfInvP computes the field inverse x^254 (with 0 ↦ 0, matching the S-box
 // convention) via the addition chain
 // x^3 = x^2·x, x^15 = (x^3)^4·x^3, x^252 = (x^15)^16·(x^3)^4, x^254 = x^252·x^2.
-func gfInvP(dst, x []uint64) {
-	var x2, x3, x12, x15, x240, x252 [8]uint64
+func gfInvP[V bitslice.Vec](dst, x []V) {
+	var x2, x3, x12, x15, x240, x252 [8]V
 	gfSquareP(x2[:], x)
 	gfMulP(x3[:], x2[:], x)
 	gfSquareP(x12[:], x3[:])
@@ -75,16 +81,19 @@ func gfInvP(dst, x []uint64) {
 }
 
 // sboxP applies the AES S-box to one plane byte in place.
-func sboxP(st []uint64) {
-	var inv [8]uint64
+func sboxP[V bitslice.Vec](st []V) {
+	var inv [8]V
 	gfInvP(inv[:], st)
 	// Affine: out = b ⊕ rotl1(b) ⊕ rotl2(b) ⊕ rotl3(b) ⊕ rotl4(b) ⊕ 0x63,
 	// where bit j of rotl_n(b) is bit (j-n) mod 8 of b.
 	const c = byte(0x63)
 	for j := 0; j < 8; j++ {
-		v := inv[j] ^ inv[(j+7)&7] ^ inv[(j+6)&7] ^ inv[(j+5)&7] ^ inv[(j+4)&7]
-		if c&(1<<uint(j)) != 0 {
-			v = ^v
+		var v V
+		for k := 0; k < len(v); k++ {
+			v[k] = inv[j][k] ^ inv[(j+7)&7][k] ^ inv[(j+6)&7][k] ^ inv[(j+5)&7][k] ^ inv[(j+4)&7][k]
+			if c&(1<<uint(j)) != 0 {
+				v[k] = ^v[k]
+			}
 		}
 		st[j] = v
 	}
@@ -92,14 +101,16 @@ func sboxP(st []uint64) {
 
 // xtimeP multiplies a plane byte by x (the MixColumns {02} multiple):
 // out[j] = a[j-1] ⊕ (a[7] where the AES polynomial 0x1B has bit j).
-func xtimeP(dst, a []uint64) {
+func xtimeP[V bitslice.Vec](dst, a []V) {
 	hi := a[7]
-	dst[7] = a[6]
-	dst[6] = a[5]
-	dst[5] = a[4]
-	dst[4] = a[3] ^ hi
-	dst[3] = a[2] ^ hi
-	dst[2] = a[1]
-	dst[1] = a[0] ^ hi
-	dst[0] = hi
+	for k := 0; k < len(hi); k++ {
+		dst[7][k] = a[6][k]
+		dst[6][k] = a[5][k]
+		dst[5][k] = a[4][k]
+		dst[4][k] = a[3][k] ^ hi[k]
+		dst[3][k] = a[2][k] ^ hi[k]
+		dst[2][k] = a[1][k]
+		dst[1][k] = a[0][k] ^ hi[k]
+		dst[0][k] = hi[k]
+	}
 }

@@ -8,35 +8,58 @@ import (
 	"repro/internal/bitslice"
 )
 
-// Sliced is the bitsliced 64-lane AES-128: the 128-bit state becomes 128
-// uint64 planes (plane 8b+k = bit k of state byte b across lanes), so one
-// EncryptBlocks call performs 64 independent block encryptions, each lane
-// under its own key.
-type Sliced struct {
-	rk    [][128]uint64 // 11 plane-form round keys
+// SlicedVec is the bitsliced AES-128 over the plane width V: the 128-bit
+// state becomes 128 V-planes (plane 8b+k = bit k of state byte b across
+// the lanes), so one EncryptBlocks call performs 64·K independent block
+// encryptions, each lane under its own key. Every plane operation applies
+// independently to each of V's K words, so the wide engine is K
+// lock-stepped 64-lane engines under one control flow.
+type SlicedVec[V bitslice.Vec] struct {
+	rk    [][128]V // 11 plane-form round keys
 	lanes int
 }
 
+// Sliced is the native 64-lane engine (the uint64 datapath).
+type Sliced = SlicedVec[bitslice.V64]
+
 // NewSliced expands one 16-byte AES-128 key per lane (1..64 lanes).
 func NewSliced(keys [][]byte) (*Sliced, error) {
+	return NewSlicedVec[bitslice.V64](keys)
+}
+
+// NewSlicedVec expands one 16-byte AES-128 key per lane, for up to
+// bitslice.VecLanes[V]() lanes.
+func NewSlicedVec[V bitslice.Vec](keys [][]byte) (*SlicedVec[V], error) {
 	lanes := len(keys)
-	if lanes == 0 || lanes > bitslice.W {
-		return nil, fmt.Errorf("aes: lane count %d out of range [1,64]", lanes)
+	if lanes == 0 || lanes > bitslice.VecLanes[V]() {
+		return nil, fmt.Errorf("aes: lane count %d out of range [1,%d]", lanes, bitslice.VecLanes[V]())
 	}
-	s := &Sliced{rk: make([][128]uint64, 11), lanes: lanes}
+	s := &SlicedVec[V]{rk: make([][128]V, 11), lanes: lanes}
+	if err := s.Reseed(keys); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reseed replaces every lane's key, re-running the key schedule in place.
+// The lane count must match the one the engine was built with.
+func (s *SlicedVec[V]) Reseed(keys [][]byte) error {
+	if len(keys) != s.lanes {
+		return fmt.Errorf("aes: %d keys for %d lanes", len(keys), s.lanes)
+	}
 	los := make([][]uint64, 11) // per round: per-lane low words
 	his := make([][]uint64, 11)
 	for r := range los {
-		los[r] = make([]uint64, lanes)
-		his[r] = make([]uint64, lanes)
+		los[r] = make([]uint64, s.lanes)
+		his[r] = make([]uint64, s.lanes)
 	}
 	for l, key := range keys {
 		if len(key) != 16 {
-			return nil, fmt.Errorf("aes: lane %d key must be 16 bytes", l)
+			return fmt.Errorf("aes: lane %d key must be 16 bytes", l)
 		}
 		c, err := NewCipher(key)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for r := 0; r <= 10; r++ {
 			los[r][l] = binary.LittleEndian.Uint64(c.rk[r][0:8])
@@ -44,19 +67,19 @@ func NewSliced(keys [][]byte) (*Sliced, error) {
 		}
 	}
 	for r := 0; r <= 10; r++ {
-		lo := bitslice.PackWords(los[r])
-		hi := bitslice.PackWords(his[r])
+		lo := bitslice.PackWordsVec[V](los[r])
+		hi := bitslice.PackWordsVec[V](his[r])
 		copy(s.rk[r][0:64], lo[:])
 		copy(s.rk[r][64:128], hi[:])
 	}
-	return s, nil
+	return nil
 }
 
 // Lanes returns the number of active lanes.
-func (s *Sliced) Lanes() int { return s.lanes }
+func (s *SlicedVec[V]) Lanes() int { return s.lanes }
 
-// EncryptBlocks encrypts the 64 lane blocks held in plane form in st.
-func (s *Sliced) EncryptBlocks(st *[128]uint64) {
+// EncryptBlocks encrypts the lane blocks held in plane form in st.
+func (s *SlicedVec[V]) EncryptBlocks(st *[128]V) {
 	addRoundKeyP(st, &s.rk[0])
 	for r := 1; r < 10; r++ {
 		subBytesP(st)
@@ -69,13 +92,15 @@ func (s *Sliced) EncryptBlocks(st *[128]uint64) {
 	addRoundKeyP(st, &s.rk[10])
 }
 
-func addRoundKeyP(st, rk *[128]uint64) {
+func addRoundKeyP[V bitslice.Vec](st, rk *[128]V) {
 	for i := range st {
-		st[i] ^= rk[i]
+		for k := 0; k < len(st[i]); k++ {
+			st[i][k] ^= rk[i][k]
+		}
 	}
 }
 
-func subBytesP(st *[128]uint64) {
+func subBytesP[V bitslice.Vec](st *[128]V) {
 	for b := 0; b < 16; b++ {
 		sboxP(st[8*b : 8*b+8])
 	}
@@ -83,8 +108,8 @@ func subBytesP(st *[128]uint64) {
 
 // shiftRowsP permutes whole byte groups: the byte at state index r+4c
 // moves in from index r+4((c+r) mod 4).
-func shiftRowsP(st *[128]uint64) {
-	var tmp [128]uint64
+func shiftRowsP[V bitslice.Vec](st *[128]V) {
+	var tmp [128]V
 	for r := 0; r < 4; r++ {
 		for c := 0; c < 4; c++ {
 			dst := r + 4*c
@@ -95,9 +120,9 @@ func shiftRowsP(st *[128]uint64) {
 	*st = tmp
 }
 
-func mixColumnsP(st *[128]uint64) {
-	var a [4][8]uint64
-	var xa [4][8]uint64
+func mixColumnsP[V bitslice.Vec](st *[128]V) {
+	var a [4][8]V
+	var xa [4][8]V
 	for c := 0; c < 4; c++ {
 		for r := 0; r < 4; r++ {
 			copy(a[r][:], st[8*(4*c+r):8*(4*c+r)+8])
@@ -107,17 +132,19 @@ func mixColumnsP(st *[128]uint64) {
 			// out_r = {02}a_r ⊕ {03}a_{r+1} ⊕ a_{r+2} ⊕ a_{r+3}
 			o := st[8*(4*c+r) : 8*(4*c+r)+8]
 			r1, r2, r3 := (r+1)&3, (r+2)&3, (r+3)&3
-			for k := 0; k < 8; k++ {
-				o[k] = xa[r][k] ^ xa[r1][k] ^ a[r1][k] ^ a[r2][k] ^ a[r3][k]
+			for j := 0; j < 8; j++ {
+				for k := 0; k < len(o[j]); k++ {
+					o[j][k] = xa[r][j][k] ^ xa[r1][j][k] ^ a[r1][j][k] ^ a[r2][j][k] ^ a[r3][j][k]
+				}
 			}
 		}
 	}
 }
 
-// PackBlocks converts 1..64 16-byte blocks (one per lane) into plane form.
-func PackBlocks(blocks [][16]byte) [128]uint64 {
-	if len(blocks) > bitslice.W {
-		panic("aes: more than 64 blocks")
+// PackBlocksVec converts per-lane 16-byte blocks into plane form.
+func PackBlocksVec[V bitslice.Vec](blocks [][16]byte) [128]V {
+	if len(blocks) > bitslice.VecLanes[V]() {
+		panic("aes: more blocks than lanes")
 	}
 	los := make([]uint64, len(blocks))
 	his := make([]uint64, len(blocks))
@@ -125,21 +152,26 @@ func PackBlocks(blocks [][16]byte) [128]uint64 {
 		los[l] = binary.LittleEndian.Uint64(blocks[l][0:8])
 		his[l] = binary.LittleEndian.Uint64(blocks[l][8:16])
 	}
-	var st [128]uint64
-	lo := bitslice.PackWords(los)
-	hi := bitslice.PackWords(his)
+	var st [128]V
+	lo := bitslice.PackWordsVec[V](los)
+	hi := bitslice.PackWordsVec[V](his)
 	copy(st[0:64], lo[:])
 	copy(st[64:128], hi[:])
 	return st
 }
 
-// UnpackBlocks converts plane form back to per-lane blocks.
-func UnpackBlocks(st *[128]uint64, lanes int) [][16]byte {
-	var lo, hi [64]uint64
+// PackBlocks converts 1..64 16-byte blocks (one per lane) into plane form.
+func PackBlocks(blocks [][16]byte) [128]bitslice.V64 {
+	return PackBlocksVec[bitslice.V64](blocks)
+}
+
+// UnpackBlocksVec converts plane form back to per-lane blocks.
+func UnpackBlocksVec[V bitslice.Vec](st *[128]V, lanes int) [][16]byte {
+	var lo, hi [64]V
 	copy(lo[:], st[0:64])
 	copy(hi[:], st[64:128])
-	loW := bitslice.UnpackWords(&lo, lanes)
-	hiW := bitslice.UnpackWords(&hi, lanes)
+	loW := bitslice.UnpackWordsVec(&lo, lanes)
+	hiW := bitslice.UnpackWordsVec(&hi, lanes)
 	out := make([][16]byte, lanes)
 	for l := 0; l < lanes; l++ {
 		binary.LittleEndian.PutUint64(out[l][0:8], loW[l])
@@ -148,45 +180,81 @@ func UnpackBlocks(st *[128]uint64, lanes int) [][16]byte {
 	return out
 }
 
-// SlicedCTR is the bitsliced AES-128-CTR generator of paper Fig. 3: every
-// lane runs its own nonce‖counter stream under its own key, and one batch
-// encrypts 64 blocks (1024 bytes) at once.
-type SlicedCTR struct {
-	aes    *Sliced
+// UnpackBlocks converts 64-lane plane form back to per-lane blocks.
+func UnpackBlocks(st *[128]bitslice.V64, lanes int) [][16]byte {
+	return UnpackBlocksVec(st, lanes)
+}
+
+// SlicedCTRVec is the bitsliced AES-128-CTR generator of paper Fig. 3 over
+// the plane width V: every lane runs its own nonce‖counter stream under
+// its own key, and one batch encrypts one block per lane at once.
+type SlicedCTRVec[V bitslice.Vec] struct {
+	aes    *SlicedVec[V]
 	nonces []uint64 // per-lane nonce, little-endian image of the 8 nonce bytes
 	ctrs   []uint64 // per-lane counter value (encoded big-endian in the block)
 }
 
-// BatchSize is the output of one SlicedCTR batch: 64 lanes × 16 bytes.
+// SlicedCTR is the native 64-lane CTR generator.
+type SlicedCTR = SlicedCTRVec[bitslice.V64]
+
+// BatchSize is the output of one 64-lane SlicedCTR batch: 64 lanes × 16
+// bytes. Wider engines emit Lanes()×BlockSize bytes per batch.
 const BatchSize = 64 * BlockSize
 
-// NewSlicedCTR builds the generator; keys[L] and nonces[L] (8 bytes each)
-// belong to lane L. Lane counters start at zero.
+// NewSlicedCTR builds the 64-lane generator; keys[L] and nonces[L]
+// (8 bytes each) belong to lane L. Lane counters start at zero.
 func NewSlicedCTR(keys [][]byte, nonces [][]byte) (*SlicedCTR, error) {
-	a, err := NewSliced(keys)
+	return NewSlicedCTRVec[bitslice.V64](keys, nonces)
+}
+
+// NewSlicedCTRVec builds a generator of up to bitslice.VecLanes[V]() lanes.
+func NewSlicedCTRVec[V bitslice.Vec](keys [][]byte, nonces [][]byte) (*SlicedCTRVec[V], error) {
+	a, err := NewSlicedVec[V](keys)
 	if err != nil {
 		return nil, err
 	}
-	if len(nonces) != a.lanes {
-		return nil, fmt.Errorf("aes: %d nonces for %d lanes", len(nonces), a.lanes)
-	}
-	g := &SlicedCTR{aes: a, nonces: make([]uint64, a.lanes), ctrs: make([]uint64, a.lanes)}
-	for l, n := range nonces {
-		if len(n) != 8 {
-			return nil, fmt.Errorf("aes: lane %d nonce must be 8 bytes", l)
-		}
-		g.nonces[l] = binary.LittleEndian.Uint64(n)
+	g := &SlicedCTRVec[V]{aes: a, nonces: make([]uint64, a.lanes), ctrs: make([]uint64, a.lanes)}
+	if err := g.loadNonces(nonces); err != nil {
+		return nil, err
 	}
 	return g, nil
 }
 
+func (g *SlicedCTRVec[V]) loadNonces(nonces [][]byte) error {
+	if len(nonces) != g.aes.lanes {
+		return fmt.Errorf("aes: %d nonces for %d lanes", len(nonces), g.aes.lanes)
+	}
+	for l, n := range nonces {
+		if len(n) != 8 {
+			return fmt.Errorf("aes: lane %d nonce must be 8 bytes", l)
+		}
+		g.nonces[l] = binary.LittleEndian.Uint64(n)
+	}
+	return nil
+}
+
+// Reseed rekeys every lane, replaces its nonce, and resets its counter to
+// zero. The lane count must match the one the generator was built with.
+func (g *SlicedCTRVec[V]) Reseed(keys [][]byte, nonces [][]byte) error {
+	if err := g.aes.Reseed(keys); err != nil {
+		return err
+	}
+	if err := g.loadNonces(nonces); err != nil {
+		return err
+	}
+	for l := range g.ctrs {
+		g.ctrs[l] = 0
+	}
+	return nil
+}
+
 // Lanes returns the number of active lanes.
-func (g *SlicedCTR) Lanes() int { return g.aes.lanes }
+func (g *SlicedCTRVec[V]) Lanes() int { return g.aes.lanes }
 
 // NextBatch writes lanes×16 bytes into dst (lane L's block at offset
 // 16·L, identical bytes to lane L's scalar CTR stream) and advances every
 // lane counter. len(dst) must be at least Lanes()×16.
-func (g *SlicedCTR) NextBatch(dst []byte) {
+func (g *SlicedCTRVec[V]) NextBatch(dst []byte) {
 	lanes := g.aes.lanes
 	if len(dst) < lanes*BlockSize {
 		panic("aes: batch buffer too small")
@@ -200,17 +268,17 @@ func (g *SlicedCTR) NextBatch(dst []byte) {
 		his[l] = bits.ReverseBytes64(g.ctrs[l])
 		g.ctrs[l]++
 	}
-	var st [128]uint64
-	lo := bitslice.PackWords(los)
-	hi := bitslice.PackWords(his)
+	var st [128]V
+	lo := bitslice.PackWordsVec[V](los)
+	hi := bitslice.PackWordsVec[V](his)
 	copy(st[0:64], lo[:])
 	copy(st[64:128], hi[:])
 	g.aes.EncryptBlocks(&st)
-	var loO, hiO [64]uint64
+	var loO, hiO [64]V
 	copy(loO[:], st[0:64])
 	copy(hiO[:], st[64:128])
-	outLo := bitslice.UnpackWords(&loO, lanes)
-	outHi := bitslice.UnpackWords(&hiO, lanes)
+	outLo := bitslice.UnpackWordsVec(&loO, lanes)
+	outHi := bitslice.UnpackWordsVec(&hiO, lanes)
 	for l := 0; l < lanes; l++ {
 		binary.LittleEndian.PutUint64(dst[16*l:], outLo[l])
 		binary.LittleEndian.PutUint64(dst[16*l+8:], outHi[l])

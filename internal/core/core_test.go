@@ -93,11 +93,11 @@ func TestGeneratorUint64AndWords(t *testing.T) {
 // Each worker domain must produce a distinct stream.
 func TestSeedDomainSeparation(t *testing.T) {
 	for _, alg := range Algorithms {
-		e1, err := newEngine(alg, 5, 1)
+		e1, err := newEngine(alg, 5, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		e2, err := newEngine(alg, 5, 2)
+		e2, err := newEngine(alg, 5, 2, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,20 +111,32 @@ func TestSeedDomainSeparation(t *testing.T) {
 	}
 }
 
-func TestLaneMaterialDistinct(t *testing.T) {
-	keys, ivs := laneMaterial(1, 0, 64, 10, 10)
+func TestSegmentMaterialDistinct(t *testing.T) {
+	keys, ivs := segmentMaterial(1, 0, 0, 64, 10, 10)
 	seen := map[string]bool{}
 	for l := 0; l < 64; l++ {
 		k := string(keys[l]) + "|" + string(ivs[l])
 		if seen[k] {
-			t.Fatal("duplicate lane material")
+			t.Fatal("duplicate segment material")
 		}
 		seen[k] = true
 	}
 	// Different seeds must give different material.
-	keys2, _ := laneMaterial(2, 0, 64, 10, 10)
+	keys2, _ := segmentMaterial(2, 0, 0, 64, 10, 10)
 	if bytes.Equal(keys[0], keys2[0]) {
-		t.Error("seed does not influence lane material")
+		t.Error("seed does not influence segment material")
+	}
+}
+
+// Segment material must depend only on the absolute segment index — the
+// property that makes the canonical stream identical at every lane width.
+func TestSegmentMaterialIndexedAbsolutely(t *testing.T) {
+	wide, wideIVs := segmentMaterial(9, 3, 0, 512, 10, 8)
+	for _, l := range []int{0, 1, 63, 64, 255, 256, 511} {
+		one, oneIV := segmentMaterial(9, 3, uint64(l), 1, 10, 8)
+		if !bytes.Equal(wide[l], one[0]) || !bytes.Equal(wideIVs[l], oneIV[0]) {
+			t.Fatalf("segment %d material depends on the batch shape", l)
+		}
 	}
 }
 
@@ -163,7 +175,7 @@ func TestStreamMatchesSingleWorkerComposition(t *testing.T) {
 	s.Read(got)
 	s.Close()
 
-	eng, _ := newEngine(MICKEY, 9, 1)
+	eng, _ := newEngine(MICKEY, 9, 1, 0)
 	want := make([]byte, 4096)
 	for off := 0; off < len(want); off += eng.blockBytes() {
 		eng.nextBlock(want[off : off+eng.blockBytes()])

@@ -3,8 +3,10 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
 
 	"repro/internal/aes"
+	"repro/internal/bitslice"
 	"repro/internal/grain"
 	"repro/internal/mickey"
 	"repro/internal/trivium"
@@ -42,9 +44,14 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// ParseAlgorithm maps a name to an Algorithm.
+// AlgorithmNames lists the accepted ParseAlgorithm spellings (canonical
+// names first), for error messages and usage strings.
+var AlgorithmNames = []string{"mickey", "grain", "aes-ctr", "trivium", "aes"}
+
+// ParseAlgorithm maps a name (case-insensitive, surrounding whitespace
+// ignored) to an Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) {
-	switch s {
+	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "mickey":
 		return MICKEY, nil
 	case "grain":
@@ -54,13 +61,45 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	case "trivium":
 		return TRIVIUM, nil
 	}
-	return 0, fmt.Errorf("core: unknown algorithm %q (want mickey, grain, aes-ctr or trivium)", s)
+	return 0, fmt.Errorf("core: unknown algorithm %q (want one of %s)", s, strings.Join(AlgorithmNames, ", "))
 }
 
 // Algorithms lists all supported algorithms.
 var Algorithms = []Algorithm{MICKEY, GRAIN, AESCTR, TRIVIUM}
 
-// engine is one 64-lane bitsliced generator producing fixed-size blocks.
+// SegmentBytes is the unit of the canonical BSRNG byte stream: the stream
+// of one (seed, domain) pair is the concatenation of fixed-size segments,
+// and segment j is keystream from a cipher instance keyed by
+// PRF(seed, domain, j) (see segmentMaterial). A W-lane engine computes W
+// consecutive segments in one lock-step pass — lane width changes how many
+// segments are produced per pass, never their bytes, so every datapath
+// width emits the identical stream.
+const SegmentBytes = 2048
+
+// DefaultLanes is the lane width used when a caller does not choose one:
+// the native 64-lane uint64 datapath.
+const DefaultLanes = 64
+
+// SupportedLanes lists the valid engine lane widths: 64 (uint64 planes),
+// 256 (quad-word planes) and 512 (oct-word planes).
+var SupportedLanes = []int{64, 256, 512}
+
+// ValidateLanes rejects lane counts outside SupportedLanes (0 selects
+// DefaultLanes and is accepted).
+func ValidateLanes(lanes int) error {
+	if lanes == 0 {
+		return nil
+	}
+	for _, n := range SupportedLanes {
+		if lanes == n {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unsupported lane count %d (want one of %v)", lanes, SupportedLanes)
+}
+
+// engine is one bitsliced generator producing the canonical segment
+// stream of a (seed, domain) pair.
 type engine interface {
 	// blockBytes is the output of one nextBlock call.
 	blockBytes() int
@@ -68,96 +107,156 @@ type engine interface {
 	nextBlock(dst []byte)
 }
 
-type mickeyEngine struct{ m *mickey.Sliced }
+// segmented drives a wide-lane cipher through the segment stream: one
+// lock-step pass fills `lanes` segment buffers (lane l = segment base+l),
+// nextBlock hands them out in order, and an exhausted pass rekeys the
+// cipher for the next `lanes` segment indices via the rekey hook.
+type segmented struct {
+	lanes int
+	bufs  [][]byte // lanes × SegmentBytes, one backing array
+	emit  int      // next buffer to hand out
+	base  uint64   // absolute segment index of bufs[0]
+	rekey func(base uint64) error
+	fill  func(bufs [][]byte) error
+}
 
-func (e *mickeyEngine) blockBytes() int { return 512 }
+func newSegmented(lanes int, rekey func(uint64) error, fill func([][]byte) error) *segmented {
+	e := &segmented{lanes: lanes, rekey: rekey, fill: fill}
+	backing := make([]byte, lanes*SegmentBytes)
+	e.bufs = make([][]byte, lanes)
+	for l := range e.bufs {
+		e.bufs[l] = backing[l*SegmentBytes : (l+1)*SegmentBytes]
+	}
+	e.mustFill()
+	return e
+}
 
-func (e *mickeyEngine) nextBlock(dst []byte) {
-	// 64 clocks × 64 lanes, written in device (raw word) order.
-	for i := 0; i < 64; i++ {
-		binary.LittleEndian.PutUint64(dst[8*i:], e.m.ClockWord())
+// mustFill runs one lock-step keystream pass. The hooks only fail on
+// malformed key/IV material, which the constructor has already validated.
+func (e *segmented) mustFill() {
+	if err := e.fill(e.bufs); err != nil {
+		panic("core: segment fill failed: " + err.Error())
 	}
 }
 
-type grainEngine struct{ g *grain.Sliced }
+func (e *segmented) blockBytes() int { return SegmentBytes }
 
-func (e *grainEngine) blockBytes() int { return 512 }
-
-func (e *grainEngine) nextBlock(dst []byte) {
-	for i := 0; i < 64; i++ {
-		binary.LittleEndian.PutUint64(dst[8*i:], e.g.ClockWord())
+func (e *segmented) nextBlock(dst []byte) {
+	if e.emit == e.lanes {
+		e.base += uint64(e.lanes)
+		if err := e.rekey(e.base); err != nil {
+			panic("core: segment rekey failed: " + err.Error())
+		}
+		e.mustFill()
+		e.emit = 0
 	}
+	copy(dst, e.bufs[e.emit])
+	e.emit++
 }
 
-type aesEngine struct{ g *aes.SlicedCTR }
-
-func (e *aesEngine) blockBytes() int { return aes.BatchSize }
-
-func (e *aesEngine) nextBlock(dst []byte) { e.g.NextBatch(dst) }
-
-type triviumEngine struct{ t *trivium.Sliced }
-
-func (e *triviumEngine) blockBytes() int { return 512 }
-
-func (e *triviumEngine) nextBlock(dst []byte) {
-	for i := 0; i < 64; i++ {
-		binary.LittleEndian.PutUint64(dst[8*i:], e.t.ClockWord())
+// newEngine builds a fully-seeded engine for one (seed, domain) pair at
+// the given lane width (0 = DefaultLanes). The emitted byte stream is
+// identical at every supported width.
+func newEngine(alg Algorithm, seed, domain uint64, lanes int) (engine, error) {
+	if lanes == 0 {
+		lanes = DefaultLanes
 	}
+	switch lanes {
+	case 64:
+		return newEngineWidth[bitslice.V64](alg, seed, domain, lanes)
+	case 256:
+		return newEngineWidth[bitslice.V256](alg, seed, domain, lanes)
+	case 512:
+		return newEngineWidth[bitslice.V512](alg, seed, domain, lanes)
+	}
+	return nil, fmt.Errorf("core: unsupported lane count %d (want one of %v)", lanes, SupportedLanes)
 }
 
-// newEngine builds a fully-seeded 64-lane engine for one (seed, domain)
-// pair.
-func newEngine(alg Algorithm, seed, domain uint64) (engine, error) {
-	const lanes = 64
+func newEngineWidth[V bitslice.Vec](alg Algorithm, seed, domain uint64, lanes int) (engine, error) {
 	switch alg {
 	case MICKEY:
-		keys, ivs := laneMaterial(seed, domain, lanes, mickey.KeySize, 10)
-		m, err := mickey.NewSliced(keys, ivs, mickey.MaxIVBits)
+		keys, ivs := segmentMaterial(seed, domain, 0, lanes, mickey.KeySize, 10)
+		m, err := mickey.NewSlicedVec[V](keys, ivs, mickey.MaxIVBits)
 		if err != nil {
 			return nil, err
 		}
-		return &mickeyEngine{m: m}, nil
+		return newSegmented(lanes, func(base uint64) error {
+			keys, ivs := segmentMaterial(seed, domain, base, lanes, mickey.KeySize, 10)
+			return m.Reseed(keys, ivs, mickey.MaxIVBits)
+		}, m.Keystream), nil
 	case GRAIN:
-		keys, ivs := laneMaterial(seed, domain, lanes, grain.KeySize, grain.IVSize)
-		g, err := grain.NewSliced(keys, ivs)
+		keys, ivs := segmentMaterial(seed, domain, 0, lanes, grain.KeySize, grain.IVSize)
+		g, err := grain.NewSlicedVec[V](keys, ivs)
 		if err != nil {
 			return nil, err
 		}
-		return &grainEngine{g: g}, nil
+		return newSegmented(lanes, func(base uint64) error {
+			keys, ivs := segmentMaterial(seed, domain, base, lanes, grain.KeySize, grain.IVSize)
+			return g.Reseed(keys, ivs)
+		}, g.Keystream), nil
 	case AESCTR:
-		keys, nonces := laneMaterial(seed, domain, lanes, 16, 8)
-		g, err := aes.NewSlicedCTR(keys, nonces)
+		keys, nonces := segmentMaterial(seed, domain, 0, lanes, 16, 8)
+		g, err := aes.NewSlicedCTRVec[V](keys, nonces)
 		if err != nil {
 			return nil, err
 		}
-		return &aesEngine{g: g}, nil
+		scratch := make([]byte, lanes*aes.BlockSize)
+		fill := func(bufs [][]byte) error {
+			// NextBatch emits one block per lane, lane-interleaved; scatter
+			// each lane's block into its segment buffer.
+			for off := 0; off < SegmentBytes; off += aes.BlockSize {
+				g.NextBatch(scratch)
+				for l := range bufs {
+					copy(bufs[l][off:off+aes.BlockSize], scratch[aes.BlockSize*l:])
+				}
+			}
+			return nil
+		}
+		return newSegmented(lanes, func(base uint64) error {
+			keys, nonces := segmentMaterial(seed, domain, base, lanes, 16, 8)
+			return g.Reseed(keys, nonces)
+		}, fill), nil
 	case TRIVIUM:
-		keys, ivs := laneMaterial(seed, domain, lanes, trivium.KeySize, trivium.IVSize)
-		t, err := trivium.NewSliced(keys, ivs)
+		keys, ivs := segmentMaterial(seed, domain, 0, lanes, trivium.KeySize, trivium.IVSize)
+		t, err := trivium.NewSlicedVec[V](keys, ivs)
 		if err != nil {
 			return nil, err
 		}
-		return &triviumEngine{t: t}, nil
+		return newSegmented(lanes, func(base uint64) error {
+			keys, ivs := segmentMaterial(seed, domain, base, lanes, trivium.KeySize, trivium.IVSize)
+			return t.Reseed(keys, ivs)
+		}, t.Keystream), nil
 	}
 	return nil, fmt.Errorf("core: unknown algorithm %v", alg)
 }
 
 // Generator is a deterministic single-engine BSRNG byte stream: one
-// 64-lane bitsliced engine behind an io.Reader.
+// wide-lane bitsliced engine behind an io.Reader. The byte stream depends
+// only on (algorithm, seed), not on the lane width.
 type Generator struct {
-	alg Algorithm
-	eng engine
-	buf []byte
-	pos int // unread offset into buf; len(buf) when empty
+	alg   Algorithm
+	lanes int
+	eng   engine
+	buf   []byte
+	pos   int // unread offset into buf; len(buf) when empty
 }
 
-// NewGenerator builds a seeded generator.
+// NewGenerator builds a seeded generator at the default lane width.
 func NewGenerator(alg Algorithm, seed uint64) (*Generator, error) {
-	eng, err := newEngine(alg, seed, 0)
+	return NewGeneratorLanes(alg, seed, DefaultLanes)
+}
+
+// NewGeneratorLanes builds a seeded generator at an explicit lane width
+// (0 = DefaultLanes; see SupportedLanes).
+func NewGeneratorLanes(alg Algorithm, seed uint64, lanes int) (*Generator, error) {
+	if lanes == 0 {
+		lanes = DefaultLanes
+	}
+	eng, err := newEngine(alg, seed, 0, lanes)
 	if err != nil {
 		return nil, err
 	}
-	g := &Generator{alg: alg, eng: eng}
+	g := &Generator{alg: alg, lanes: lanes, eng: eng}
 	g.buf = make([]byte, eng.blockBytes())
 	g.pos = len(g.buf)
 	return g, nil
@@ -165,6 +264,9 @@ func NewGenerator(alg Algorithm, seed uint64) (*Generator, error) {
 
 // Algorithm reports which engine backs the generator.
 func (g *Generator) Algorithm() Algorithm { return g.alg }
+
+// Lanes reports the generator's datapath width.
+func (g *Generator) Lanes() int { return g.lanes }
 
 // Read fills p with pseudo-random bytes; it never fails.
 func (g *Generator) Read(p []byte) (int, error) {

@@ -33,16 +33,22 @@ func (s *splitMix64) bytes(n int) []byte {
 	return out
 }
 
-// laneMaterial derives per-lane key and IV byte strings for the given
-// lane count. domain separates independent engines (e.g. workers of a
-// Stream) drawing from the same user seed.
-func laneMaterial(seed, domain uint64, lanes, keyLen, ivLen int) (keys, ivs [][]byte) {
-	sm := splitMix64{s: seed ^ 0xA5A5A5A55A5A5A5A*domain}
-	// One warm-up draw decorrelates small seed/domain pairs.
-	sm.next()
+// segmentMaterial derives key and IV byte strings for the `lanes`
+// consecutive stream segments starting at absolute index base: lane l
+// receives the material of segment base+l. domain separates independent
+// engines (e.g. workers of a Stream) drawing from the same user seed.
+//
+// Each segment's material depends only on (seed, domain, base+l) — never
+// on the lane count — which is what makes the canonical byte stream
+// identical at every datapath width: a 512-lane engine computes the same
+// segments as a 64-lane engine, just more of them per pass.
+func segmentMaterial(seed, domain, base uint64, lanes, keyLen, ivLen int) (keys, ivs [][]byte) {
 	keys = make([][]byte, lanes)
 	ivs = make([][]byte, lanes)
 	for l := 0; l < lanes; l++ {
+		sm := splitMix64{s: seed ^ 0xA5A5A5A55A5A5A5A*domain ^ 0xD1342543DE82EF95*(base+uint64(l))}
+		// One warm-up draw decorrelates small seed/domain/segment tuples.
+		sm.next()
 		keys[l] = sm.bytes(keyLen)
 		ivs[l] = sm.bytes(ivLen)
 	}

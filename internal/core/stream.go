@@ -63,13 +63,18 @@ func (s *Stream) Stats() StreamStats {
 }
 
 // StreamConfig tunes the Stream; zero values select defaults
-// (runtime.NumCPU() workers, 64 KiB staging chunks).
+// (runtime.NumCPU() workers, 64 KiB staging chunks, DefaultLanes-wide
+// engines).
 type StreamConfig struct {
 	Workers int
 	// StagingBytes is the per-worker chunk size. The paper determines the
 	// analogous shared-memory occupancy "by try and error" (§4.5); the
 	// BenchmarkStagingAblation bench sweeps it.
 	StagingBytes int
+	// Lanes is the per-worker engine datapath width; see SupportedLanes.
+	// The stream's bytes are identical at every width — Lanes only trades
+	// memory and per-pass batch size for instruction-level parallelism.
+	Lanes int
 }
 
 // NewStream starts the worker pool. Close must be called to release the
@@ -87,6 +92,9 @@ func NewStream(alg Algorithm, seed uint64, cfg StreamConfig) (*Stream, error) {
 	if cfg.StagingBytes < 512 {
 		return nil, fmt.Errorf("core: staging buffer must be ≥ 512 bytes")
 	}
+	if err := ValidateLanes(cfg.Lanes); err != nil {
+		return nil, err
+	}
 
 	s := &Stream{
 		alg:     alg,
@@ -98,7 +106,7 @@ func NewStream(alg Algorithm, seed uint64, cfg StreamConfig) (*Stream, error) {
 	}
 	engines := make([]engine, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		eng, err := newEngine(alg, seed, uint64(w)+1)
+		eng, err := newEngine(alg, seed, uint64(w)+1, cfg.Lanes)
 		if err != nil {
 			return nil, err
 		}
@@ -207,19 +215,25 @@ func (s *Stream) Close() {
 func (s *Stream) Workers() int { return s.workers }
 
 // Fill generates len(dst) bytes using all workers in one parallel
+// one-shot at the default lane width; see FillLanes.
+func Fill(alg Algorithm, seed uint64, workers int, dst []byte) error {
+	return FillLanes(alg, seed, workers, DefaultLanes, dst)
+}
+
+// FillLanes generates len(dst) bytes using all workers in one parallel
 // one-shot: dst is split into contiguous per-worker regions (the
 // "coalesced write" layout of §4.5) that are filled concurrently. The
 // output is deterministic for a given (algorithm, seed, workers) and
-// independent of StagingBytes.
-func Fill(alg Algorithm, seed uint64, workers int, dst []byte) error {
+// independent of StagingBytes and of the lane width.
+func FillLanes(alg Algorithm, seed uint64, workers, lanes int, dst []byte) error {
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
 	if len(dst) == 0 {
-		return nil
+		return ValidateLanes(lanes)
 	}
 	// Regions are whole multiples of the engine block size except the last.
-	probe, err := newEngine(alg, seed, 1)
+	probe, err := newEngine(alg, seed, 1, lanes)
 	if err != nil {
 		return err
 	}
@@ -250,7 +264,7 @@ func Fill(alg Algorithm, seed uint64, workers int, dst []byte) error {
 			if w == 0 {
 				eng = probe
 			} else {
-				eng, err = newEngine(alg, seed, uint64(w)+1)
+				eng, err = newEngine(alg, seed, uint64(w)+1, lanes)
 			}
 			if err != nil {
 				mu.Lock()

@@ -62,9 +62,9 @@ func TestStreamStats(t *testing.T) {
 	if st.BytesDelivered != 100000 {
 		t.Errorf("BytesDelivered = %d, want 100000", st.BytesDelivered)
 	}
-	// 100000 bytes at 1024-byte chunks: at least 97 chunks were handed over.
-	if st.ChunksProduced < 97 {
-		t.Errorf("ChunksProduced = %d, want ≥ 97", st.ChunksProduced)
+	// 100000 bytes at one-segment chunks: at least 48 chunks were handed over.
+	if st.ChunksProduced < 100000/SegmentBytes {
+		t.Errorf("ChunksProduced = %d, want ≥ %d", st.ChunksProduced, 100000/SegmentBytes)
 	}
 	// Sustained reading recycles staging buffers from the free list.
 	if _, err := s.Read(buf); err != nil {
@@ -87,7 +87,7 @@ func TestStreamStats(t *testing.T) {
 func TestFillMatchesStreamWorkerRegions(t *testing.T) {
 	const (
 		workers  = 3
-		staging  = 1024 // one chunk = 1024 bytes (multiple of every engine block)
+		staging  = SegmentBytes // one chunk = one engine block
 		perChunk = staging
 		rounds   = 4 // chunks consumed per worker
 		region   = rounds * perChunk

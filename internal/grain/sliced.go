@@ -14,81 +14,122 @@ import (
 // rebases the buffers.
 const window = 64
 
-// Sliced is the bitsliced 64-lane Grain v1 engine: one uint64 plane per
-// register bit, 64 independent cipher instances per word, all register
-// shifts replaced by index renaming.
-type Sliced struct {
-	s, b  []uint64 // plane buffers of length regBits+window
-	pos   int      // window origin: state bit i of the current clock is s[pos+i]
+// SlicedVec is the bitsliced Grain v1 engine over the plane width V: one
+// V-plane per register bit, 64·K independent cipher instances per plane,
+// all register shifts replaced by index renaming. Every lane-wise
+// operation applies independently to each of V's K words, so the wide
+// engine is K lock-stepped 64-lane engines under one control flow.
+type SlicedVec[V bitslice.Vec] struct {
+	s, b  []V // plane buffers of length regBits+window
+	pos   int // window origin: state bit i of the current clock is s[pos+i]
 	lanes int
 }
+
+// Sliced is the native 64-lane engine (the uint64 datapath).
+type Sliced = SlicedVec[bitslice.V64]
 
 // NewSliced builds a 64-lane (or fewer) engine; keys[L]/ivs[L] belong to
 // lane L. Initialization runs the spec's 160 feedback clocks for all lanes
 // in lock-step.
 func NewSliced(keys, ivs [][]byte) (*Sliced, error) {
+	return NewSlicedVec[bitslice.V64](keys, ivs)
+}
+
+// NewSlicedVec builds an engine of up to bitslice.VecLanes[V]() lanes.
+func NewSlicedVec[V bitslice.Vec](keys, ivs [][]byte) (*SlicedVec[V], error) {
 	lanes := len(keys)
-	if lanes == 0 || lanes > bitslice.W {
-		return nil, fmt.Errorf("grain: lane count %d out of range [1,64]", lanes)
+	if lanes == 0 || lanes > bitslice.VecLanes[V]() {
+		return nil, fmt.Errorf("grain: lane count %d out of range [1,%d]", lanes, bitslice.VecLanes[V]())
 	}
-	if len(ivs) != lanes {
-		return nil, fmt.Errorf("grain: %d keys but %d ivs", lanes, len(ivs))
-	}
-	g := &Sliced{
-		s:     make([]uint64, regBits+window),
-		b:     make([]uint64, regBits+window),
+	g := &SlicedVec[V]{
+		s:     make([]V, regBits+window),
+		b:     make([]V, regBits+window),
 		lanes: lanes,
 	}
-	for l := 0; l < lanes; l++ {
-		if len(keys[l]) != KeySize {
-			return nil, fmt.Errorf("grain: lane %d key must be %d bytes", l, KeySize)
-		}
-		if len(ivs[l]) != IVSize {
-			return nil, fmt.Errorf("grain: lane %d iv must be %d bytes", l, IVSize)
-		}
-		for i := 0; i < regBits; i++ {
-			bitslice.SetLaneBit(g.b, i, l, bitOf(keys[l], i))
-		}
-		for i := 0; i < 64; i++ {
-			bitslice.SetLaneBit(g.s, i, l, bitOf(ivs[l], i))
-		}
-		for i := 64; i < regBits; i++ {
-			bitslice.SetLaneBit(g.s, i, l, 1)
-		}
-	}
-	for i := 0; i < initClocks; i++ {
-		z := g.outputWord()
-		g.clock(z, z)
+	if err := g.Reseed(keys, ivs); err != nil {
+		return nil, err
 	}
 	return g, nil
 }
 
-// Lanes returns the number of active lanes.
-func (g *Sliced) Lanes() int { return g.lanes }
-
-func (g *Sliced) outputWord() uint64 {
-	s := g.s[g.pos:]
-	b := g.b[g.pos:]
-	x0, x1, x2, x3, x4 := s[3], s[25], s[46], s[64], b[63]
-	h := x1 ^ x4 ^ x0&x3 ^ x2&x3 ^ x3&x4 ^
-		x0&x1&x2 ^ x0&x2&x3 ^ x0&x2&x4 ^ x1&x2&x4 ^ x2&x3&x4
-	a := b[1] ^ b[2] ^ b[4] ^ b[10] ^ b[31] ^ b[43] ^ b[56]
-	return a ^ h
+// Reseed reloads fresh per-lane key/IV material and re-runs the spec's
+// initialization clocks, reusing the engine's buffers. The lane count
+// must match the one the engine was built with.
+func (g *SlicedVec[V]) Reseed(keys, ivs [][]byte) error {
+	if len(keys) != g.lanes {
+		return fmt.Errorf("grain: %d keys for %d lanes", len(keys), g.lanes)
+	}
+	if len(ivs) != g.lanes {
+		return fmt.Errorf("grain: %d keys but %d ivs", len(keys), len(ivs))
+	}
+	for l := 0; l < g.lanes; l++ {
+		if len(keys[l]) != KeySize {
+			return fmt.Errorf("grain: lane %d key must be %d bytes", l, KeySize)
+		}
+		if len(ivs[l]) != IVSize {
+			return fmt.Errorf("grain: lane %d iv must be %d bytes", l, IVSize)
+		}
+	}
+	var zero V
+	for i := range g.s {
+		g.s[i] = zero
+		g.b[i] = zero
+	}
+	g.pos = 0
+	for l := 0; l < g.lanes; l++ {
+		for i := 0; i < regBits; i++ {
+			bitslice.SetLaneBitVec(g.b, i, l, bitOf(keys[l], i))
+		}
+		for i := 0; i < 64; i++ {
+			bitslice.SetLaneBitVec(g.s, i, l, bitOf(ivs[l], i))
+		}
+		for i := 64; i < regBits; i++ {
+			bitslice.SetLaneBitVec(g.s, i, l, 1)
+		}
+	}
+	for i := 0; i < initClocks; i++ {
+		z := g.outputVec()
+		g.clock(z, z)
+	}
+	return nil
 }
 
-// clock advances all lanes one step, XORing the feedback words into the
-// new planes (used during initialization; zero words in keystream mode).
-func (g *Sliced) clock(fbS, fbB uint64) {
+// Lanes returns the number of active lanes.
+func (g *SlicedVec[V]) Lanes() int { return g.lanes }
+
+func (g *SlicedVec[V]) outputVec() V {
 	s := g.s[g.pos:]
 	b := g.b[g.pos:]
-	ns := s[62] ^ s[51] ^ s[38] ^ s[23] ^ s[13] ^ s[0] ^ fbS
-	lin := b[62] ^ b[60] ^ b[52] ^ b[45] ^ b[37] ^ b[33] ^ b[28] ^ b[21] ^ b[14] ^ b[9] ^ b[0]
-	nl := b[63]&b[60] ^ b[37]&b[33] ^ b[15]&b[9] ^
-		b[60]&b[52]&b[45] ^ b[33]&b[28]&b[21] ^
-		b[63]&b[45]&b[28]&b[9] ^ b[60]&b[52]&b[37]&b[33] ^ b[63]&b[60]&b[21]&b[15] ^
-		b[63]&b[60]&b[52]&b[45]&b[37] ^ b[33]&b[28]&b[21]&b[15]&b[9] ^
-		b[52]&b[45]&b[37]&b[33]&b[28]&b[21]
-	nb := s[0] ^ lin ^ nl ^ fbB
+	var z V
+	for k := 0; k < len(z); k++ {
+		x0, x1, x2, x3, x4 := s[3][k], s[25][k], s[46][k], s[64][k], b[63][k]
+		h := x1 ^ x4 ^ x0&x3 ^ x2&x3 ^ x3&x4 ^
+			x0&x1&x2 ^ x0&x2&x3 ^ x0&x2&x4 ^ x1&x2&x4 ^ x2&x3&x4
+		a := b[1][k] ^ b[2][k] ^ b[4][k] ^ b[10][k] ^ b[31][k] ^ b[43][k] ^ b[56][k]
+		z[k] = a ^ h
+	}
+	return z
+}
+
+// clock advances all lanes one step, XORing the feedback planes into the
+// new planes (used during initialization; zero planes in keystream mode).
+func (g *SlicedVec[V]) clock(fbS, fbB V) {
+	s := g.s[g.pos:]
+	b := g.b[g.pos:]
+	var ns, nb V
+	for k := 0; k < len(fbS); k++ {
+		ns[k] = s[62][k] ^ s[51][k] ^ s[38][k] ^ s[23][k] ^ s[13][k] ^ s[0][k] ^ fbS[k]
+		lin := b[62][k] ^ b[60][k] ^ b[52][k] ^ b[45][k] ^ b[37][k] ^ b[33][k] ^
+			b[28][k] ^ b[21][k] ^ b[14][k] ^ b[9][k] ^ b[0][k]
+		nl := b[63][k]&b[60][k] ^ b[37][k]&b[33][k] ^ b[15][k]&b[9][k] ^
+			b[60][k]&b[52][k]&b[45][k] ^ b[33][k]&b[28][k]&b[21][k] ^
+			b[63][k]&b[45][k]&b[28][k]&b[9][k] ^ b[60][k]&b[52][k]&b[37][k]&b[33][k] ^
+			b[63][k]&b[60][k]&b[21][k]&b[15][k] ^
+			b[63][k]&b[60][k]&b[52][k]&b[45][k]&b[37][k] ^
+			b[33][k]&b[28][k]&b[21][k]&b[15][k]&b[9][k] ^
+			b[52][k]&b[45][k]&b[37][k]&b[33][k]&b[28][k]&b[21][k]
+		nb[k] = s[0][k] ^ lin ^ nl ^ fbB[k]
+	}
 
 	g.s[g.pos+regBits] = ns
 	g.b[g.pos+regBits] = nb
@@ -100,27 +141,44 @@ func (g *Sliced) clock(fbS, fbB uint64) {
 	}
 }
 
-// ClockWord emits one keystream word (bit L = lane L's next bit) and
+// ClockVec emits one keystream plane (lane L = lane L's next bit) and
 // advances the generator.
-func (g *Sliced) ClockWord() uint64 {
-	z := g.outputWord()
-	g.clock(0, 0)
+func (g *SlicedVec[V]) ClockVec() V {
+	z := g.outputVec()
+	var zero V
+	g.clock(zero, zero)
 	return z
 }
 
-// KeystreamBlock runs 64 clocks and transposes so that out[L], written
-// little-endian, is 8 keystream bytes of lane L with MSB-first bit packing
-// (byte-compatible with Ref.Keystream).
-func (g *Sliced) KeystreamBlock(out *[64]uint64) {
+// ClockWord emits the keystream word of lanes 0..63 and advances all
+// lanes; for the 64-lane engine this is the whole keystream plane.
+func (g *SlicedVec[V]) ClockWord() uint64 {
+	z := g.ClockVec()
+	return z[0]
+}
+
+// KeystreamBlockVec runs 64 clocks and transposes so that out[j][k],
+// written little-endian, is 8 keystream bytes of lane 64·k+j with
+// MSB-first bit packing (byte-compatible with Ref.Keystream).
+func (g *SlicedVec[V]) KeystreamBlockVec(out *[64]V) {
 	for t := 0; t < 64; t++ {
-		out[(t&^7)|(7-t&7)] = g.ClockWord()
+		out[(t&^7)|(7-t&7)] = g.ClockVec()
 	}
-	bitslice.Transpose64(out)
+	bitslice.TransposeVec(out)
+}
+
+// KeystreamBlock is KeystreamBlockVec restricted to lanes 0..63.
+func (g *SlicedVec[V]) KeystreamBlock(out *[64]uint64) {
+	var blk [64]V
+	g.KeystreamBlockVec(&blk)
+	for i := range out {
+		out[i] = blk[i][0]
+	}
 }
 
 // Keystream fills one equal-length buffer per lane with that lane's
 // keystream bytes; lengths must be equal multiples of 8.
-func (g *Sliced) Keystream(bufs [][]byte) error {
+func (g *SlicedVec[V]) Keystream(bufs [][]byte) error {
 	if len(bufs) != g.lanes {
 		return fmt.Errorf("grain: %d buffers for %d lanes", len(bufs), g.lanes)
 	}
@@ -136,18 +194,19 @@ func (g *Sliced) Keystream(bufs [][]byte) error {
 	if n%8 != 0 {
 		return fmt.Errorf("grain: buffer length must be a multiple of 8")
 	}
-	var blk [64]uint64
+	var blk [64]V
 	for off := 0; off < n; off += 8 {
-		g.KeystreamBlock(&blk)
+		g.KeystreamBlockVec(&blk)
 		for l := 0; l < g.lanes; l++ {
-			binary.LittleEndian.PutUint64(bufs[l][off:off+8], blk[l])
+			binary.LittleEndian.PutUint64(bufs[l][off:off+8], blk[l&63][l>>6])
 		}
 	}
 	return nil
 }
 
-// KeystreamWords fills dst with raw device-order keystream words.
-func (g *Sliced) KeystreamWords(dst []uint64) {
+// KeystreamWords fills dst with raw device-order keystream words of lanes
+// 0..63.
+func (g *SlicedVec[V]) KeystreamWords(dst []uint64) {
 	for i := range dst {
 		dst[i] = g.ClockWord()
 	}

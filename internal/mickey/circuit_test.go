@@ -30,8 +30,10 @@ func TestCircuitMatchesHandEngine(t *testing.T) {
 	out := make([]uint64, 201)
 	scratch := make([]uint64, prog.ScratchLen())
 	for step := 0; step < 50; step++ {
-		copy(in[0:100], sl.r)
-		copy(in[100:200], sl.s)
+		for i := 0; i < 100; i++ {
+			in[i] = sl.r[i][0]
+			in[100+i] = sl.s[i][0]
+		}
 		in[200] = 0 // keystream mode input
 		prog.Run(in, out, scratch)
 
@@ -40,10 +42,10 @@ func TestCircuitMatchesHandEngine(t *testing.T) {
 			t.Fatalf("step %d: circuit z %x, hand z %x", step, out[200], z)
 		}
 		for i := 0; i < 100; i++ {
-			if out[i] != sl.r[i] {
+			if out[i] != sl.r[i][0] {
 				t.Fatalf("step %d: r[%d] differs", step, i)
 			}
-			if out[100+i] != sl.s[i] {
+			if out[100+i] != sl.s[i][0] {
 				t.Fatalf("step %d: s[%d] differs", step, i)
 			}
 		}
@@ -115,8 +117,10 @@ func BenchmarkCircuitVsHand(b *testing.B) {
 		in := make([]uint64, 201)
 		out := make([]uint64, 201)
 		scratch := make([]uint64, prog.ScratchLen())
-		copy(in[0:100], sl.r)
-		copy(in[100:200], sl.s)
+		for i := 0; i < 100; i++ {
+			in[i] = sl.r[i][0]
+			in[100+i] = sl.s[i][0]
+		}
 		b.SetBytes(8)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

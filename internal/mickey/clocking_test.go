@@ -53,7 +53,7 @@ func TestLanesDivergeUnderIrregularClocking(t *testing.T) {
 	mixed := 0
 	const clocks = 100
 	for i := 0; i < clocks; i++ {
-		ctrlR := sl.s[34] ^ sl.r[67]
+		ctrlR := sl.s[34][0] ^ sl.r[67][0]
 		if c := bits.OnesCount64(ctrlR); c > 4 && c < 60 {
 			mixed++
 		}

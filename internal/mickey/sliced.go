@@ -7,79 +7,112 @@ import (
 	"repro/internal/bitslice"
 )
 
-// Sliced is the bitsliced MICKEY 2.0 engine of paper §4.4 (Fig. 9): the
-// two 100-bit registers become 200 uint64 planes (plane i, bit L = state
-// bit i of lane L), so one ClockWord advances 64 independent cipher
-// instances and emits 64 keystream bits.
+// SlicedVec is the bitsliced MICKEY 2.0 engine of paper §4.4 (Fig. 9),
+// generalized over the plane width V: the two 100-bit registers become 200
+// V-planes (plane i, lane L = state bit i of lane L), so one ClockVec
+// advances 64·K independent cipher instances and emits as many keystream
+// bits. V64 planes give the native 64-lane engine; V256/V512 widen the
+// datapath to 256/512 lanes — the CPU analogue of widening a GPU warp.
 //
 // Everything data-dependent in the spec becomes branch-free here:
 //
 //   - the per-lane control bits (irregular clocking) turn into full-width
 //     AND masks,
 //   - the COMP0/COMP1/FB0/FB1 constants broadcast to all-zero/all-one
-//     words at construction time,
+//     planes at construction time,
 //   - the register shift is realized by ping-pong buffer swapping — the
 //     paper's "register reference swapping" — rather than bit shifts.
-type Sliced struct {
-	r, s   []uint64 // current planes, length 100 each
-	nr, ns []uint64 // scratch planes (swapped in after every clock)
+//
+// Every lane-wise operation applies independently to each of V's K words,
+// so the wide engine is K lock-stepped 64-lane engines sharing one control
+// flow — one instruction stream, K× the lanes.
+type SlicedVec[V bitslice.Vec] struct {
+	r, s   []V // current planes, length 100 each
+	nr, ns []V // scratch planes (swapped in after every clock)
 	lanes  int
 
-	// broadcast constants, one word per state bit; the per-index selector
-	// words turn every data-dependent choice in the spec into straight-line
+	// broadcast constants, one plane per state bit; the per-index selector
+	// planes turn every data-dependent choice in the spec into straight-line
 	// AND/XOR so the clock loop is branch-free.
-	c0, c1 [regBits]uint64
-	tapB   [regBits]uint64 // ^0 where i ∈ RTAPS
-	// S feedback selectors by (FB0, FB1): exactly one of the three is ^0
+	c0, c1 [regBits]V
+	tapB   [regBits]V // all-ones where i ∈ RTAPS
+	// S feedback selectors by (FB0, FB1): exactly one of the three is all-one
 	// when any feedback applies at index i.
-	selZero [regBits]uint64 // FB0=1, FB1=0: term = fbS & ^ctrlS
-	selOne  [regBits]uint64 // FB0=0, FB1=1: term = fbS & ctrlS
-	selBoth [regBits]uint64 // FB0=1, FB1=1: term = fbS
+	selZero [regBits]V // FB0=1, FB1=0: term = fbS & ^ctrlS
+	selOne  [regBits]V // FB0=0, FB1=1: term = fbS & ctrlS
+	selBoth [regBits]V // FB0=1, FB1=1: term = fbS
 }
+
+// Sliced is the native 64-lane engine (the uint64 datapath).
+type Sliced = SlicedVec[bitslice.V64]
 
 // NewSliced builds a 64-lane (or fewer) engine. keys[L] is lane L's
 // 10-byte key; ivs[L] its IV (ivBits bits, MSB-first). All lanes are
 // initialized in lock-step, exactly mirroring the reference schedule.
 func NewSliced(keys [][]byte, ivs [][]byte, ivBits int) (*Sliced, error) {
-	lanes := len(keys)
-	if lanes == 0 || lanes > bitslice.W {
-		return nil, fmt.Errorf("mickey: lane count %d out of range [1,64]", lanes)
-	}
-	if len(ivs) != lanes {
-		return nil, fmt.Errorf("mickey: %d keys but %d ivs", lanes, len(ivs))
-	}
-	for l := 0; l < lanes; l++ {
-		if err := checkKeyIV(keys[l], ivs[l], ivBits); err != nil {
-			return nil, fmt.Errorf("lane %d: %w", l, err)
-		}
-	}
+	return NewSlicedVec[bitslice.V64](keys, ivs, ivBits)
+}
 
-	m := &Sliced{
-		r: make([]uint64, regBits), s: make([]uint64, regBits),
-		nr: make([]uint64, regBits), ns: make([]uint64, regBits),
+// NewSlicedVec builds an engine of up to bitslice.VecLanes[V]() lanes.
+func NewSlicedVec[V bitslice.Vec](keys [][]byte, ivs [][]byte, ivBits int) (*SlicedVec[V], error) {
+	lanes := len(keys)
+	if lanes == 0 || lanes > bitslice.VecLanes[V]() {
+		return nil, fmt.Errorf("mickey: lane count %d out of range [1,%d]", lanes, bitslice.VecLanes[V]())
+	}
+	m := &SlicedVec[V]{
+		r: make([]V, regBits), s: make([]V, regBits),
+		nr: make([]V, regBits), ns: make([]V, regBits),
 		lanes: lanes,
 	}
 	for i := 0; i < regBits; i++ {
-		m.c0[i] = bitslice.Broadcast(maskBit(&comp0, i))
-		m.c1[i] = bitslice.Broadcast(maskBit(&comp1, i))
+		m.c0[i] = bitslice.BroadcastVec[V](maskBit(&comp0, i))
+		m.c1[i] = bitslice.BroadcastVec[V](maskBit(&comp1, i))
 		f0, f1 := maskBit(&sMask0, i), maskBit(&sMask1, i)
-		m.selZero[i] = bitslice.Broadcast(f0 &^ f1)
-		m.selOne[i] = bitslice.Broadcast(f1 &^ f0)
-		m.selBoth[i] = bitslice.Broadcast(f0 & f1)
+		m.selZero[i] = bitslice.BroadcastVec[V](f0 &^ f1)
+		m.selOne[i] = bitslice.BroadcastVec[V](f1 &^ f0)
+		m.selBoth[i] = bitslice.BroadcastVec[V](f0 & f1)
 	}
+	allOnes := bitslice.BroadcastVec[V](1)
 	for _, t := range rtaps {
-		m.tapB[t] = ^uint64(0)
+		m.tapB[t] = allOnes
+	}
+	if err := m.Reseed(keys, ivs, ivBits); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reseed re-runs the load schedule with fresh per-lane key/IV material,
+// reusing the engine's buffers. The lane count must match the one the
+// engine was built with.
+func (m *SlicedVec[V]) Reseed(keys [][]byte, ivs [][]byte, ivBits int) error {
+	if len(keys) != m.lanes {
+		return fmt.Errorf("mickey: %d keys for %d lanes", len(keys), m.lanes)
+	}
+	if len(ivs) != m.lanes {
+		return fmt.Errorf("mickey: %d keys but %d ivs", len(keys), len(ivs))
+	}
+	for l := 0; l < m.lanes; l++ {
+		if err := checkKeyIV(keys[l], ivs[l], ivBits); err != nil {
+			return fmt.Errorf("lane %d: %w", l, err)
+		}
+	}
+	var zero V
+	for i := 0; i < regBits; i++ {
+		m.r[i] = zero
+		m.s[i] = zero
 	}
 
 	// Load IV, key, preclock — the same schedule as the reference, with
-	// the input bit gathered across lanes into one word per step.
-	gather := func(src [][]byte, i int) uint64 {
-		var w uint64
-		for l := 0; l < lanes; l++ {
-			w |= uint64(ivBit(src[l], i)) << uint(l)
+	// the input bit gathered across lanes into one plane per step.
+	gather := func(src [][]byte, i int) V {
+		var w V
+		for l := 0; l < m.lanes; l++ {
+			w[l>>6] |= uint64(ivBit(src[l], i)) << uint(l&63)
 		}
 		return w
 	}
+	var zeroIn V
 	for i := 0; i < ivBits; i++ {
 		m.clockKG(true, gather(ivs, i))
 	}
@@ -87,73 +120,104 @@ func NewSliced(keys [][]byte, ivs [][]byte, ivBits int) (*Sliced, error) {
 		m.clockKG(true, gather(keys, i))
 	}
 	for i := 0; i < regBits; i++ {
-		m.clockKG(true, 0)
+		m.clockKG(true, zeroIn)
 	}
-	return m, nil
+	return nil
 }
 
 // clockKG advances all lanes one generator step. input carries one input
 // bit per lane.
-func (m *Sliced) clockKG(mixing bool, input uint64) {
+func (m *SlicedVec[V]) clockKG(mixing bool, input V) {
 	r, s, nr, ns := m.r, m.s, m.nr, m.ns
 
-	ctrlR := s[34] ^ r[67]
-	ctrlS := s[67] ^ r[33]
-	inputR := input
-	if mixing {
-		inputR ^= s[50]
+	var ctrlR, ctrlS, fbR, fbS, fb0, fb1 V
+	for k := 0; k < len(input); k++ {
+		ctrlR[k] = s[34][k] ^ r[67][k]
+		ctrlS[k] = s[67][k] ^ r[33][k]
+		inR := input[k]
+		if mixing {
+			inR ^= s[50][k]
+		}
+		// CLOCK_R feedback: fbR = r[99] ^ inputR; CLOCK_S: fbS = s[99] ^ input.
+		fbR[k] = r[99][k] ^ inR
+		fbS[k] = s[99][k] ^ input[k]
+		fb0[k] = fbS[k] &^ ctrlS[k] // applied where FB0=1, FB1=0
+		fb1[k] = fbS[k] & ctrlS[k]  // applied where FB0=0, FB1=1
 	}
 
 	// CLOCK_R: nr[i] = r[i-1] ^ (i∈RTAPS ? fbR : 0) ^ (r[i] & ctrlR)
-	fbR := r[99] ^ inputR
-	nr[0] = (fbR & m.tapB[0]) ^ (r[0] & ctrlR)
+	for k := 0; k < len(input); k++ {
+		nr[0][k] = (fbR[k] & m.tapB[0][k]) ^ (r[0][k] & ctrlR[k])
+		ns[0][k] = fb0[k]&m.selZero[0][k] ^ fb1[k]&m.selOne[0][k] ^ fbS[k]&m.selBoth[0][k]
+		ns[99][k] = s[98][k] ^ fb0[k]&m.selZero[99][k] ^ fb1[k]&m.selOne[99][k] ^ fbS[k]&m.selBoth[99][k]
+	}
 	for i := 1; i < regBits; i++ {
-		nr[i] = r[i-1] ^ (r[i] & ctrlR) ^ (fbR & m.tapB[i])
+		for k := 0; k < len(input); k++ {
+			nr[i][k] = r[i-1][k] ^ (r[i][k] & ctrlR[k]) ^ (fbR[k] & m.tapB[i][k])
+		}
 	}
 
 	// CLOCK_S
-	fbS := s[99] ^ input
-	fb0 := fbS &^ ctrlS // applied where FB0=1, FB1=0
-	fb1 := fbS & ctrlS  // applied where FB0=0, FB1=1
-	ns[0] = fb0&m.selZero[0] ^ fb1&m.selOne[0] ^ fbS&m.selBoth[0]
 	for i := 1; i < 99; i++ {
-		ns[i] = s[i-1] ^ ((s[i] ^ m.c0[i]) & (s[i+1] ^ m.c1[i])) ^
-			fb0&m.selZero[i] ^ fb1&m.selOne[i] ^ fbS&m.selBoth[i]
+		for k := 0; k < len(input); k++ {
+			ns[i][k] = s[i-1][k] ^ ((s[i][k] ^ m.c0[i][k]) & (s[i+1][k] ^ m.c1[i][k])) ^
+				fb0[k]&m.selZero[i][k] ^ fb1[k]&m.selOne[i][k] ^ fbS[k]&m.selBoth[i][k]
+		}
 	}
-	ns[99] = s[98] ^ fb0&m.selZero[99] ^ fb1&m.selOne[99] ^ fbS&m.selBoth[99]
 
 	m.r, m.nr = nr, r
 	m.s, m.ns = ns, s
 }
 
-// ClockWord emits one keystream word (bit L = lane L's next keystream
+// ClockVec emits one keystream plane (lane L = lane L's next keystream
 // bit) and advances the generator.
-func (m *Sliced) ClockWord() uint64 {
-	z := m.r[0] ^ m.s[0]
-	m.clockKG(false, 0)
+func (m *SlicedVec[V]) ClockVec() V {
+	var z, zero V
+	for k := 0; k < len(z); k++ {
+		z[k] = m.r[0][k] ^ m.s[0][k]
+	}
+	m.clockKG(false, zero)
 	return z
 }
 
-// Lanes returns the number of active lanes.
-func (m *Sliced) Lanes() int { return m.lanes }
+// ClockWord emits the keystream word of lanes 0..63 (bit L = lane L's
+// next keystream bit) and advances all lanes. For the 64-lane engine this
+// is the whole keystream plane.
+func (m *SlicedVec[V]) ClockWord() uint64 {
+	z := m.ClockVec()
+	return z[0]
+}
 
-// KeystreamBlock runs 64 clocks and transposes the result so that out[L],
-// written little-endian, is 8 keystream bytes of lane L with the cipher's
-// MSB-first bit packing (byte-compatible with Ref.Keystream /
-// Packed.Keystream).
-func (m *Sliced) KeystreamBlock(out *[64]uint64) {
+// Lanes returns the number of active lanes.
+func (m *SlicedVec[V]) Lanes() int { return m.lanes }
+
+// KeystreamBlockVec runs 64 clocks and transposes the result so that
+// out[j][k], written little-endian, is 8 keystream bytes of lane 64·k+j
+// with the cipher's MSB-first bit packing (byte-compatible with
+// Ref.Keystream / Packed.Keystream).
+func (m *SlicedVec[V]) KeystreamBlockVec(out *[64]V) {
 	// Placing clock t at index (t&^7)|(7-t&7) makes the post-transpose
 	// little-endian byte image MSB-first per byte.
 	for t := 0; t < 64; t++ {
-		out[(t&^7)|(7-t&7)] = m.ClockWord()
+		out[(t&^7)|(7-t&7)] = m.ClockVec()
 	}
-	bitslice.Transpose64(out)
+	bitslice.TransposeVec(out)
+}
+
+// KeystreamBlock is KeystreamBlockVec restricted to lanes 0..63: out[L],
+// written little-endian, is 8 keystream bytes of lane L.
+func (m *SlicedVec[V]) KeystreamBlock(out *[64]uint64) {
+	var blk [64]V
+	m.KeystreamBlockVec(&blk)
+	for i := range out {
+		out[i] = blk[i][0]
+	}
 }
 
 // Keystream fills one equal-length buffer per lane with that lane's
 // keystream bytes. len(bufs) must equal Lanes() and every buffer length
 // must be the same multiple of 8.
-func (m *Sliced) Keystream(bufs [][]byte) error {
+func (m *SlicedVec[V]) Keystream(bufs [][]byte) error {
 	if len(bufs) != m.lanes {
 		return fmt.Errorf("mickey: %d buffers for %d lanes", len(bufs), m.lanes)
 	}
@@ -169,20 +233,20 @@ func (m *Sliced) Keystream(bufs [][]byte) error {
 	if n%8 != 0 {
 		return fmt.Errorf("mickey: buffer length must be a multiple of 8")
 	}
-	var blk [64]uint64
+	var blk [64]V
 	for off := 0; off < n; off += 8 {
-		m.KeystreamBlock(&blk)
+		m.KeystreamBlockVec(&blk)
 		for l := 0; l < m.lanes; l++ {
-			binary.LittleEndian.PutUint64(bufs[l][off:off+8], blk[l])
+			binary.LittleEndian.PutUint64(bufs[l][off:off+8], blk[l&63][l>>6])
 		}
 	}
 	return nil
 }
 
-// KeystreamWords fills dst with raw device-order keystream words (one
-// ClockWord per element, no transposition) — the cheapest bulk path when
-// the consumer only needs uniform random bits.
-func (m *Sliced) KeystreamWords(dst []uint64) {
+// KeystreamWords fills dst with raw device-order keystream words of lanes
+// 0..63 (one ClockVec per element, no transposition) — the cheapest bulk
+// path when the consumer only needs uniform random bits.
+func (m *SlicedVec[V]) KeystreamWords(dst []uint64) {
 	for i := range dst {
 		dst[i] = m.ClockWord()
 	}

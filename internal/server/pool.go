@@ -35,12 +35,13 @@ func shardSeed(seed uint64, i int) uint64 {
 	return seed + uint64(i)*0x9E3779B97F4A7C15
 }
 
-func newPool(alg core.Algorithm, seed uint64, shards, workers, staging int) (*pool, error) {
+func newPool(alg core.Algorithm, seed uint64, shards, workers, staging, lanes int) (*pool, error) {
 	p := &pool{alg: alg}
 	for i := 0; i < shards; i++ {
 		st, err := core.NewStream(alg, shardSeed(seed, i), core.StreamConfig{
 			Workers:      workers,
 			StagingBytes: staging,
+			Lanes:        lanes,
 		})
 		if err != nil {
 			p.close()

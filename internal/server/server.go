@@ -42,6 +42,10 @@ type Config struct {
 	WorkersPerShard int
 	// StagingBytes is the per-worker chunk size (default 64 KiB).
 	StagingBytes int
+	// Lanes is the engine datapath width for every shard stream (default
+	// core.DefaultLanes; see core.SupportedLanes). The served bytes are
+	// identical at every width.
+	Lanes int
 	// MaxRequestBytes caps n on /bytes (default 16 MiB).
 	MaxRequestBytes int64
 	// RequestTimeout bounds shard checkout + generation (default 30s).
@@ -119,7 +123,7 @@ func New(cfg Config) (*Server, error) {
 		if _, dup := s.pools[alg]; dup {
 			return nil, fmt.Errorf("server: algorithm %v configured twice", alg)
 		}
-		p, err := newPool(alg, cfg.Seed, cfg.ShardsPerAlg, cfg.WorkersPerShard, cfg.StagingBytes)
+		p, err := newPool(alg, cfg.Seed, cfg.ShardsPerAlg, cfg.WorkersPerShard, cfg.StagingBytes, cfg.Lanes)
 		if err != nil {
 			s.closePools()
 			return nil, err
