@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench-smoke bench fuzz fmt serve
+.PHONY: verify fmt-check vet build test race bench-smoke bench fuzz fmt serve cover
 
 verify: fmt-check vet build test race bench-smoke
 	@echo "verify: all checks passed"
@@ -43,6 +43,20 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzPackBitsRoundTrip -fuzztime=$(FUZZTIME) ./internal/bitslice/
 	$(GO) test -run=NONE -fuzz=FuzzPackWordsRoundTrip -fuzztime=$(FUZZTIME) ./internal/bitslice/
 	$(GO) test -run=NONE -fuzz=FuzzTransposeVec -fuzztime=$(FUZZTIME) ./internal/bitslice/
+
+# Whole-repo coverage profile plus hard floors on the packages whose
+# correctness the chaos harness leans on (mirrors the CI coverage job).
+COVER_FLOOR ?= 85.0
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	@for pkg in internal/health internal/faultinject; do \
+		{ head -n 1 coverage.out; grep "^repro/$$pkg/" coverage.out; } > coverage.pkg.out; \
+		pct="$$($(GO) tool cover -func=coverage.pkg.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }')"; \
+		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
+		awk -v p="$$pct" -v floor="$(COVER_FLOOR)" 'BEGIN { exit (p+0 >= floor+0) ? 0 : 1 }' \
+			|| { echo "coverage: $$pkg below the $(COVER_FLOOR)% floor" >&2; exit 1; }; \
+	done; \
+	rm -f coverage.pkg.out
 
 fmt:
 	gofmt -w .

@@ -30,7 +30,10 @@
 // tables and figures (see cmd/experiments and EXPERIMENTS.md).
 package bsrng
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/health"
+)
 
 // Algorithm selects the underlying bitsliced CSPRNG.
 type Algorithm = core.Algorithm
@@ -88,8 +91,9 @@ type Stream = core.Stream
 // DefaultLanes-wide engines).
 type StreamConfig = core.StreamConfig
 
-// StreamStats is a snapshot of a Stream's throughput counters
-// (chunks produced, bytes delivered, free-list recycle hits).
+// StreamStats is a snapshot of a Stream's throughput and health
+// counters (chunks produced, bytes delivered, free-list recycle hits,
+// condemned segments, engine reseeds).
 type StreamStats = core.StreamStats
 
 // ErrStreamClosed is returned by Stream.Read once Close has been
@@ -111,6 +115,32 @@ func Fill(alg Algorithm, seed uint64, workers int, dst []byte) error {
 // output is identical at every width.
 func FillLanes(alg Algorithm, seed uint64, workers, lanes int, dst []byte) error {
 	return core.FillLanes(alg, seed, workers, lanes, dst)
+}
+
+// HealthConfig sets the cutoffs of the continuous online health tests
+// (zero values = the documented defaults; see internal/health).
+type HealthConfig = health.Config
+
+// HealthChecker runs SP 800-90B-style (RCT, APT) and FIPS 140-2-style
+// (monobit, long-run) continuous tests against 2048-byte segments. Its
+// Check method is safe for concurrent use and plugs directly into
+// StreamConfig.Health:
+//
+//	checker := bsrng.NewHealthChecker(bsrng.HealthConfig{})
+//	s, _ := bsrng.NewStream(bsrng.MICKEY, 42, bsrng.StreamConfig{Health: checker.Check})
+//
+// A condemned segment is discarded, the producing engine reseeds with
+// fresh material and the slot is regenerated before delivery;
+// StreamStats counts the events.
+type HealthChecker = health.Checker
+
+// HealthFailure is the error a HealthChecker returns for a condemned
+// segment, naming the tripped test and the observed statistic.
+type HealthFailure = health.Failure
+
+// NewHealthChecker builds a checker with the given cutoffs.
+func NewHealthChecker(cfg HealthConfig) *HealthChecker {
+	return health.NewChecker(cfg)
 }
 
 // Source64 adapts a Generator to math/rand.Source64.

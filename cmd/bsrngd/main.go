@@ -11,6 +11,16 @@
 // SIGINT/SIGTERM drains gracefully: /healthz flips to 503, in-flight
 // requests complete (bounded by -drain-timeout), then the stream pools
 // shut down.
+//
+// Every shard stream runs the continuous online health tests of
+// internal/health (disable with -no-health); shards that trip repeated
+// failures are quarantined, reseeded in the background and re-admitted
+// after a clean probation pass (-quarantine-after, -probation-segments).
+// /healthz reports the per-algorithm pool state as JSON and degrades to
+// 503 while any algorithm's pool is fully quarantined. -max-inflight
+// sheds excess load with 429 + Retry-After. The bsrngd_health_* metric
+// family on /metrics covers failures, quarantines, reseeds and
+// re-admissions.
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/server"
 )
 
@@ -41,6 +52,16 @@ func main() {
 	maxBytes := flag.Int64("max-bytes", 0, "per-request byte cap (0 = 16 MiB)")
 	reqTimeout := flag.Duration("timeout", 0, "per-request timeout (0 = 30s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent /bytes requests; excess get 429 + Retry-After (0 = unlimited)")
+	noHealth := flag.Bool("no-health", false, "disable the continuous online health tests and shard quarantine")
+	quarantineAfter := flag.Int("quarantine-after", 0, "consecutive failing checkouts before a shard is quarantined (0 = 3)")
+	probationSegments := flag.Int("probation-segments", 0, "clean segments a reseeded shard must produce before re-admission (0 = 4)")
+	probationInterval := flag.Duration("probation-interval", 0, "delay between failed probation attempts (0 = 1s)")
+	rctCutoff := flag.Int("health-rct-cutoff", 0, "RCT failing run of identical bytes (0 = 8)")
+	aptWindow := flag.Int("health-apt-window", 0, "APT window size in bytes (0 = 512)")
+	aptCutoff := flag.Int("health-apt-cutoff", 0, "APT failing occurrence count (0 = 48)")
+	monobitSlack := flag.Int("health-monobit-slack", 0, "monobit allowed |ones − bits/2| per segment (0 = 1024)")
+	longRunBits := flag.Int("health-longrun-bits", 0, "long-run failing run of identical bits (0 = 64)")
 	flag.Parse()
 
 	algorithms, err := parseAlgs(*algs)
@@ -57,6 +78,18 @@ func main() {
 		Lanes:           *lanes,
 		MaxRequestBytes: *maxBytes,
 		RequestTimeout:  *reqTimeout,
+		MaxInflight:     *maxInflight,
+		DisableHealth:   *noHealth,
+		Health: health.Config{
+			RCTCutoff:    *rctCutoff,
+			APTWindow:    *aptWindow,
+			APTCutoff:    *aptCutoff,
+			MonobitSlack: *monobitSlack,
+			LongRunBits:  *longRunBits,
+		},
+		QuarantineAfter:   *quarantineAfter,
+		ProbationSegments: *probationSegments,
+		ProbationInterval: *probationInterval,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bsrngd:", err)

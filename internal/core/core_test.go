@@ -112,7 +112,7 @@ func TestSeedDomainSeparation(t *testing.T) {
 }
 
 func TestSegmentMaterialDistinct(t *testing.T) {
-	keys, ivs := segmentMaterial(1, 0, 0, 64, 10, 10)
+	keys, ivs := segmentMaterial(1, 0, 0, 0, 64, 10, 10)
 	seen := map[string]bool{}
 	for l := 0; l < 64; l++ {
 		k := string(keys[l]) + "|" + string(ivs[l])
@@ -122,7 +122,7 @@ func TestSegmentMaterialDistinct(t *testing.T) {
 		seen[k] = true
 	}
 	// Different seeds must give different material.
-	keys2, _ := segmentMaterial(2, 0, 0, 64, 10, 10)
+	keys2, _ := segmentMaterial(2, 0, 0, 0, 64, 10, 10)
 	if bytes.Equal(keys[0], keys2[0]) {
 		t.Error("seed does not influence segment material")
 	}
@@ -131,9 +131,9 @@ func TestSegmentMaterialDistinct(t *testing.T) {
 // Segment material must depend only on the absolute segment index — the
 // property that makes the canonical stream identical at every lane width.
 func TestSegmentMaterialIndexedAbsolutely(t *testing.T) {
-	wide, wideIVs := segmentMaterial(9, 3, 0, 512, 10, 8)
+	wide, wideIVs := segmentMaterial(9, 3, 0, 0, 512, 10, 8)
 	for _, l := range []int{0, 1, 63, 64, 255, 256, 511} {
-		one, oneIV := segmentMaterial(9, 3, uint64(l), 1, 10, 8)
+		one, oneIV := segmentMaterial(9, 3, uint64(l), 0, 1, 10, 8)
 		if !bytes.Equal(wide[l], one[0]) || !bytes.Equal(wideIVs[l], oneIV[0]) {
 			t.Fatalf("segment %d material depends on the batch shape", l)
 		}

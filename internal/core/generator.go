@@ -105,6 +105,11 @@ type engine interface {
 	blockBytes() int
 	// nextBlock writes exactly blockBytes() bytes.
 	nextBlock(dst []byte)
+	// reseed condemns the block most recently emitted by nextBlock: the
+	// engine rekeys itself with fresh material (a bumped reseed epoch)
+	// and the next nextBlock call regenerates that block's slot. Used
+	// by the continuous health tests to discard a failed segment.
+	reseed()
 }
 
 // segmented drives a wide-lane cipher through the segment stream: one
@@ -116,11 +121,12 @@ type segmented struct {
 	bufs  [][]byte // lanes × SegmentBytes, one backing array
 	emit  int      // next buffer to hand out
 	base  uint64   // absolute segment index of bufs[0]
-	rekey func(base uint64) error
+	epoch uint64   // reseed generation; 0 = canonical stream
+	rekey func(base, epoch uint64) error
 	fill  func(bufs [][]byte) error
 }
 
-func newSegmented(lanes int, rekey func(uint64) error, fill func([][]byte) error) *segmented {
+func newSegmented(lanes int, rekey func(base, epoch uint64) error, fill func([][]byte) error) *segmented {
 	e := &segmented{lanes: lanes, rekey: rekey, fill: fill}
 	backing := make([]byte, lanes*SegmentBytes)
 	e.bufs = make([][]byte, lanes)
@@ -144,7 +150,7 @@ func (e *segmented) blockBytes() int { return SegmentBytes }
 func (e *segmented) nextBlock(dst []byte) {
 	if e.emit == e.lanes {
 		e.base += uint64(e.lanes)
-		if err := e.rekey(e.base); err != nil {
+		if err := e.rekey(e.base, e.epoch); err != nil {
 			panic("core: segment rekey failed: " + err.Error())
 		}
 		e.mustFill()
@@ -152,6 +158,22 @@ func (e *segmented) nextBlock(dst []byte) {
 	}
 	copy(dst, e.bufs[e.emit])
 	e.emit++
+}
+
+// reseed discards the current lock-step pass under a bumped epoch and
+// re-aims at the last emitted segment slot, so the condemned segment
+// (and every later one from this engine) is regenerated from fresh,
+// unrelated key/IV material. The canonical epoch-0 stream is untouched
+// for engines whose segments never fail a health check.
+func (e *segmented) reseed() {
+	e.epoch++
+	if e.emit > 0 {
+		e.emit--
+	}
+	if err := e.rekey(e.base, e.epoch); err != nil {
+		panic("core: segment rekey failed: " + err.Error())
+	}
+	e.mustFill()
 }
 
 // newEngine builds a fully-seeded engine for one (seed, domain) pair at
@@ -175,27 +197,27 @@ func newEngine(alg Algorithm, seed, domain uint64, lanes int) (engine, error) {
 func newEngineWidth[V bitslice.Vec](alg Algorithm, seed, domain uint64, lanes int) (engine, error) {
 	switch alg {
 	case MICKEY:
-		keys, ivs := segmentMaterial(seed, domain, 0, lanes, mickey.KeySize, 10)
+		keys, ivs := segmentMaterial(seed, domain, 0, 0, lanes, mickey.KeySize, 10)
 		m, err := mickey.NewSlicedVec[V](keys, ivs, mickey.MaxIVBits)
 		if err != nil {
 			return nil, err
 		}
-		return newSegmented(lanes, func(base uint64) error {
-			keys, ivs := segmentMaterial(seed, domain, base, lanes, mickey.KeySize, 10)
+		return newSegmented(lanes, func(base, epoch uint64) error {
+			keys, ivs := segmentMaterial(seed, domain, base, epoch, lanes, mickey.KeySize, 10)
 			return m.Reseed(keys, ivs, mickey.MaxIVBits)
 		}, m.Keystream), nil
 	case GRAIN:
-		keys, ivs := segmentMaterial(seed, domain, 0, lanes, grain.KeySize, grain.IVSize)
+		keys, ivs := segmentMaterial(seed, domain, 0, 0, lanes, grain.KeySize, grain.IVSize)
 		g, err := grain.NewSlicedVec[V](keys, ivs)
 		if err != nil {
 			return nil, err
 		}
-		return newSegmented(lanes, func(base uint64) error {
-			keys, ivs := segmentMaterial(seed, domain, base, lanes, grain.KeySize, grain.IVSize)
+		return newSegmented(lanes, func(base, epoch uint64) error {
+			keys, ivs := segmentMaterial(seed, domain, base, epoch, lanes, grain.KeySize, grain.IVSize)
 			return g.Reseed(keys, ivs)
 		}, g.Keystream), nil
 	case AESCTR:
-		keys, nonces := segmentMaterial(seed, domain, 0, lanes, 16, 8)
+		keys, nonces := segmentMaterial(seed, domain, 0, 0, lanes, 16, 8)
 		g, err := aes.NewSlicedCTRVec[V](keys, nonces)
 		if err != nil {
 			return nil, err
@@ -212,18 +234,18 @@ func newEngineWidth[V bitslice.Vec](alg Algorithm, seed, domain uint64, lanes in
 			}
 			return nil
 		}
-		return newSegmented(lanes, func(base uint64) error {
-			keys, nonces := segmentMaterial(seed, domain, base, lanes, 16, 8)
+		return newSegmented(lanes, func(base, epoch uint64) error {
+			keys, nonces := segmentMaterial(seed, domain, base, epoch, lanes, 16, 8)
 			return g.Reseed(keys, nonces)
 		}, fill), nil
 	case TRIVIUM:
-		keys, ivs := segmentMaterial(seed, domain, 0, lanes, trivium.KeySize, trivium.IVSize)
+		keys, ivs := segmentMaterial(seed, domain, 0, 0, lanes, trivium.KeySize, trivium.IVSize)
 		t, err := trivium.NewSlicedVec[V](keys, ivs)
 		if err != nil {
 			return nil, err
 		}
-		return newSegmented(lanes, func(base uint64) error {
-			keys, ivs := segmentMaterial(seed, domain, base, lanes, trivium.KeySize, trivium.IVSize)
+		return newSegmented(lanes, func(base, epoch uint64) error {
+			keys, ivs := segmentMaterial(seed, domain, base, epoch, lanes, trivium.KeySize, trivium.IVSize)
 			return t.Reseed(keys, ivs)
 		}, t.Keystream), nil
 	}

@@ -38,15 +38,21 @@ func (s *splitMix64) bytes(n int) []byte {
 // receives the material of segment base+l. domain separates independent
 // engines (e.g. workers of a Stream) drawing from the same user seed.
 //
-// Each segment's material depends only on (seed, domain, base+l) — never
-// on the lane count — which is what makes the canonical byte stream
-// identical at every datapath width: a 512-lane engine computes the same
-// segments as a 64-lane engine, just more of them per pass.
-func segmentMaterial(seed, domain, base uint64, lanes, keyLen, ivLen int) (keys, ivs [][]byte) {
+// Each segment's material depends only on (seed, domain, base+l, epoch)
+// — never on the lane count — which is what makes the canonical byte
+// stream identical at every datapath width: a 512-lane engine computes
+// the same segments as a 64-lane engine, just more of them per pass.
+//
+// epoch is the reseed generation and is 0 for the canonical stream; a
+// continuous health test that condemns a segment bumps the engine's
+// epoch so the regenerated segments draw fresh, unrelated material (a
+// deterministic engine fault would otherwise reproduce the same bad
+// bytes forever).
+func segmentMaterial(seed, domain, base, epoch uint64, lanes, keyLen, ivLen int) (keys, ivs [][]byte) {
 	keys = make([][]byte, lanes)
 	ivs = make([][]byte, lanes)
 	for l := 0; l < lanes; l++ {
-		sm := splitMix64{s: seed ^ 0xA5A5A5A55A5A5A5A*domain ^ 0xD1342543DE82EF95*(base+uint64(l))}
+		sm := splitMix64{s: seed ^ 0xA5A5A5A55A5A5A5A*domain ^ 0xD1342543DE82EF95*(base+uint64(l)) ^ 0x8CB92BA72F3D8DD7*epoch}
 		// One warm-up draw decorrelates small seed/domain/segment tuples.
 		sm.next()
 		keys[l] = sm.bytes(keyLen)

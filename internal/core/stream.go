@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // ErrClosed is returned by Stream.Read once Close has been observed.
@@ -22,6 +24,7 @@ type Stream struct {
 	alg     Algorithm
 	workers int
 	staging int
+	health  func(seg []byte) error
 
 	chunks []chan []byte // per-worker ordered chunk delivery
 	free   chan []byte   // recycled buffers
@@ -36,6 +39,10 @@ type Stream struct {
 	chunksProduced atomic.Uint64
 	bytesDelivered atomic.Uint64
 	recycleHits    atomic.Uint64
+
+	healthFailures    atomic.Uint64
+	engineReseeds     atomic.Uint64
+	healthUnrecovered atomic.Uint64
 }
 
 // StreamStats is a point-in-time snapshot of a Stream's internal
@@ -50,15 +57,31 @@ type StreamStats struct {
 	// RecycleHits counts staging buffers reused from the free list
 	// instead of freshly allocated.
 	RecycleHits uint64
+	// HealthFailures counts segments condemned by the configured health
+	// hook (each one was discarded, never delivered as-is).
+	HealthFailures uint64
+	// EngineReseeds counts engine reseeds triggered by health failures:
+	// the offending worker's engine rekeyed itself with fresh material
+	// and regenerated the condemned segment's slot.
+	EngineReseeds uint64
+	// HealthUnrecovered counts segments delivered after exhausting the
+	// reseed retry budget with the hook still objecting — it stays zero
+	// unless the hook rejects independently regenerated segments, which
+	// indicates a broken hook (or cutoffs set into healthy range) rather
+	// than a broken engine.
+	HealthUnrecovered uint64
 }
 
 // Stats returns a snapshot of the stream's counters. It is safe to call
 // concurrently with Read and Close.
 func (s *Stream) Stats() StreamStats {
 	return StreamStats{
-		ChunksProduced: s.chunksProduced.Load(),
-		BytesDelivered: s.bytesDelivered.Load(),
-		RecycleHits:    s.recycleHits.Load(),
+		ChunksProduced:    s.chunksProduced.Load(),
+		BytesDelivered:    s.bytesDelivered.Load(),
+		RecycleHits:       s.recycleHits.Load(),
+		HealthFailures:    s.healthFailures.Load(),
+		EngineReseeds:     s.engineReseeds.Load(),
+		HealthUnrecovered: s.healthUnrecovered.Load(),
 	}
 }
 
@@ -75,7 +98,29 @@ type StreamConfig struct {
 	// The stream's bytes are identical at every width — Lanes only trades
 	// memory and per-pass batch size for instruction-level parallelism.
 	Lanes int
+	// Health, when non-nil, is a continuous online health test run
+	// against every SegmentBytes-sized segment at production time, from
+	// the producing worker's goroutine (so it must be safe for
+	// concurrent use — health.Checker.Check qualifies). A non-nil error
+	// condemns the segment: it is discarded, the worker's engine is
+	// reseeded with fresh material, and the slot is regenerated (up to
+	// maxHealthReseeds times) before delivery. StreamStats counts the
+	// events. A nil hook — the default — leaves the hot path untouched.
+	Health func(seg []byte) error
 }
+
+// maxHealthReseeds bounds regeneration attempts per condemned segment.
+// Independent reseeds draw unrelated key material, so hitting the bound
+// means the hook fails healthy output; the stream then delivers the
+// last regenerated segment and counts it in HealthUnrecovered instead
+// of livelocking the worker.
+const maxHealthReseeds = 4
+
+// FailpointSegmentCorrupt is the faultinject site, hit once per
+// produced segment (only when a health hook is configured), that
+// zeroes the segment when fired — the chaos lever that proves the
+// discard/reseed path end to end.
+const FailpointSegmentCorrupt = "core.segment.corrupt"
 
 // NewStream starts the worker pool. Close must be called to release the
 // workers.
@@ -100,6 +145,7 @@ func NewStream(alg Algorithm, seed uint64, cfg StreamConfig) (*Stream, error) {
 		alg:     alg,
 		workers: cfg.Workers,
 		staging: cfg.StagingBytes,
+		health:  cfg.Health,
 		chunks:  make([]chan []byte, cfg.Workers),
 		free:    make(chan []byte, 4*cfg.Workers),
 		stop:    make(chan struct{}),
@@ -143,7 +189,11 @@ func (s *Stream) run(w int, eng engine) {
 		}
 		buf = buf[:chunkLen]
 		for off := 0; off < chunkLen; off += blk {
-			eng.nextBlock(buf[off : off+blk])
+			seg := buf[off : off+blk]
+			eng.nextBlock(seg)
+			if s.health != nil {
+				s.checkSegment(eng, seg)
+			}
 		}
 		// Counted at generation time, before delivery, so a consumer
 		// that has received a chunk always observes it in Stats.
@@ -153,6 +203,31 @@ func (s *Stream) run(w int, eng engine) {
 		case <-s.stop:
 			return
 		}
+	}
+}
+
+// checkSegment runs the continuous health test on one freshly produced
+// segment. A condemned segment is never delivered as produced: the
+// engine reseeds with fresh material and regenerates the slot, bounded
+// by maxHealthReseeds.
+func (s *Stream) checkSegment(eng engine, seg []byte) {
+	if faultinject.Hit(FailpointSegmentCorrupt) {
+		for i := range seg {
+			seg[i] = 0
+		}
+	}
+	for try := 0; ; try++ {
+		if err := s.health(seg); err == nil {
+			return
+		}
+		s.healthFailures.Add(1)
+		if try == maxHealthReseeds {
+			s.healthUnrecovered.Add(1)
+			return
+		}
+		eng.reseed()
+		s.engineReseeds.Add(1)
+		eng.nextBlock(seg)
 	}
 }
 

@@ -1,0 +1,34 @@
+//go:build bsrng_nofaultinject
+
+// Build-tag stub: with -tags bsrng_nofaultinject every failpoint
+// function compiles to a no-op constant, so hardened production builds
+// carry no registry, no atomics and no way to arm a fault.
+package faultinject
+
+// Available reports whether the failpoint registry is compiled in.
+func Available() bool { return false }
+
+// Hit always reports false in the disabled build.
+func Hit(string) bool { return false }
+
+// Arm is a no-op in the disabled build.
+func Arm(string, uint64) {}
+
+// ArmRange is a no-op in the disabled build.
+func ArmRange(string, uint64, uint64) {}
+
+// ArmSeeded is a no-op in the disabled build; it still returns the
+// trigger it would have armed so callers can log consistently.
+func ArmSeeded(string, uint64, uint64) uint64 { return 0 }
+
+// Disarm is a no-op in the disabled build.
+func Disarm(string) {}
+
+// Reset is a no-op in the disabled build.
+func Reset() {}
+
+// Hits always reports zero in the disabled build.
+func Hits(string) uint64 { return 0 }
+
+// Fired always reports zero in the disabled build.
+func Fired(string) uint64 { return 0 }

@@ -1,0 +1,268 @@
+// Package health implements continuous online health tests for the
+// BSRNG byte stream, in the spirit of SP 800-90B §4.4 (Repetition Count
+// Test, Adaptive Proportion Test) and the FIPS 140-2 power-up battery
+// (monobit, long-run), evaluated per 2048-byte segment — the canonical
+// stream unit of internal/core.
+//
+// These are NOT the offline SP 800-22 battery (internal/sp80022): an
+// online test must run at line rate on every segment of a deployed
+// generator and essentially never false-positive, so every cutoff below
+// is set where the per-segment failure probability of healthy output is
+// astronomically small (< 2^-45) while gross faults — a stuck engine
+// lane, a zeroed or constant segment, a wedged LFSR — trip it on the
+// very first bad segment. See DESIGN.md §8 for the cutoff derivations.
+package health
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Test identifies one of the continuous tests.
+type Test uint8
+
+const (
+	// RCT is the SP 800-90B Repetition Count Test: a run of identical
+	// bytes at least RCTCutoff long fails the segment.
+	RCT Test = iota
+	// APT is the SP 800-90B Adaptive Proportion Test: within each
+	// APTWindow-byte window, the window's first byte occurring at least
+	// APTCutoff times fails the segment.
+	APT
+	// Monobit is the FIPS 140-2-style bias check: the segment's ones
+	// count must stay within MonobitSlack of exactly half the bits.
+	Monobit
+	// LongRun is the FIPS 140-2-style long-run check: a run of identical
+	// bits at least LongRunBits long fails the segment.
+	LongRun
+
+	numTests
+)
+
+// String names the test for error messages and metric labels.
+func (t Test) String() string {
+	switch t {
+	case RCT:
+		return "rct"
+	case APT:
+		return "apt"
+	case Monobit:
+		return "monobit"
+	case LongRun:
+		return "longrun"
+	}
+	return fmt.Sprintf("Test(%d)", uint8(t))
+}
+
+// Failure reports which test a segment failed and by how much.
+type Failure struct {
+	Test     Test
+	Observed int // the statistic that tripped (run length, count, |bias|)
+	Limit    int // the configured cutoff it violated
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("health: segment failed %s: observed %d, limit %d", f.Test, f.Observed, f.Limit)
+}
+
+// Config sets the per-test cutoffs; zero values select the documented
+// defaults. All defaults assume the 2048-byte core segment; they scale
+// conservatively for other segment sizes.
+type Config struct {
+	// RCTCutoff is the failing run length of identical bytes (default
+	// 8: P ≈ 2^-45 per healthy segment).
+	RCTCutoff int
+	// APTWindow is the APT window size in bytes (default 512).
+	APTWindow int
+	// APTCutoff is the failing occurrence count of a window's first
+	// byte (default 48: the binomial tail P(X ≥ 48 | n=512, p=1/256) is
+	// far below 2^-100).
+	APTCutoff int
+	// MonobitSlack is the allowed |ones − bits/2| (default 1024 — ±16σ
+	// for a 16384-bit segment, unreachable by chance, tripped instantly
+	// by a zeroed or heavily biased segment).
+	MonobitSlack int
+	// LongRunBits is the failing run length of identical bits (default
+	// 64 — a whole stuck output word; P ≈ 2^-50 per healthy segment).
+	LongRunBits int
+}
+
+// Default cutoffs; see the Config field docs and DESIGN.md §8.
+const (
+	DefaultRCTCutoff    = 8
+	DefaultAPTWindow    = 512
+	DefaultAPTCutoff    = 48
+	DefaultMonobitSlack = 1024
+	DefaultLongRunBits  = 64
+)
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.RCTCutoff == 0 {
+		c.RCTCutoff = DefaultRCTCutoff
+	}
+	if c.APTWindow == 0 {
+		c.APTWindow = DefaultAPTWindow
+	}
+	if c.APTCutoff == 0 {
+		c.APTCutoff = DefaultAPTCutoff
+	}
+	if c.MonobitSlack == 0 {
+		c.MonobitSlack = DefaultMonobitSlack
+	}
+	if c.LongRunBits == 0 {
+		c.LongRunBits = DefaultLongRunBits
+	}
+	return c
+}
+
+// Stats is a snapshot of a Checker's counters.
+type Stats struct {
+	// Segments counts segments checked.
+	Segments uint64
+	// Failures counts failed segments by test, indexed by Test.
+	Failures [4]uint64
+}
+
+// Total sums the per-test failure counts.
+func (s Stats) Total() uint64 {
+	var t uint64
+	for _, n := range s.Failures {
+		t += n
+	}
+	return t
+}
+
+// Checker evaluates segments against the configured cutoffs. Check is
+// stateless per segment (no state carries across calls), so a Checker
+// is safe for concurrent use from many generator workers.
+type Checker struct {
+	cfg      Config
+	segments atomic.Uint64
+	failures [numTests]atomic.Uint64
+}
+
+// NewChecker builds a checker; zero-value cfg selects the defaults.
+func NewChecker(cfg Config) *Checker {
+	return &Checker{cfg: cfg.withDefaults()}
+}
+
+// Config reports the resolved cutoffs.
+func (c *Checker) Config() Config { return c.cfg }
+
+// Stats snapshots the counters; safe to call concurrently with Check.
+func (c *Checker) Stats() Stats {
+	var s Stats
+	s.Segments = c.segments.Load()
+	for i := range s.Failures {
+		s.Failures[i] = c.failures[i].Load()
+	}
+	return s
+}
+
+// Check evaluates one segment. It returns nil for a healthy segment and
+// a *Failure for the first test the segment trips (tests run in the
+// order RCT, APT, Monobit, LongRun). One pass over the bytes plus one
+// word-wise popcount pass: O(len(seg)) with small constants.
+func (c *Checker) Check(seg []byte) error {
+	c.segments.Add(1)
+	if f := c.check(seg); f != nil {
+		c.failures[f.Test].Add(1)
+		return f
+	}
+	return nil
+}
+
+func (c *Checker) check(seg []byte) *Failure {
+	if len(seg) == 0 {
+		return nil
+	}
+	// RCT + APT share the byte pass.
+	run := 1
+	prev := seg[0]
+	winStart := 0
+	winByte := seg[0]
+	winCount := 0
+	for i, b := range seg {
+		if i > 0 {
+			if b == prev {
+				run++
+				if run >= c.cfg.RCTCutoff {
+					return &Failure{Test: RCT, Observed: run, Limit: c.cfg.RCTCutoff}
+				}
+			} else {
+				run = 1
+				prev = b
+			}
+		}
+		if i-winStart == c.cfg.APTWindow {
+			winStart = i
+			winByte = b
+			winCount = 0
+		}
+		if b == winByte {
+			winCount++
+			if winCount >= c.cfg.APTCutoff {
+				return &Failure{Test: APT, Observed: winCount, Limit: c.cfg.APTCutoff}
+			}
+		}
+	}
+
+	// Monobit: word-wise popcount.
+	ones := 0
+	i := 0
+	for ; i+8 <= len(seg); i += 8 {
+		w := uint64(seg[i]) | uint64(seg[i+1])<<8 | uint64(seg[i+2])<<16 | uint64(seg[i+3])<<24 |
+			uint64(seg[i+4])<<32 | uint64(seg[i+5])<<40 | uint64(seg[i+6])<<48 | uint64(seg[i+7])<<56
+		ones += bits.OnesCount64(w)
+	}
+	for ; i < len(seg); i++ {
+		ones += bits.OnesCount8(seg[i])
+	}
+	half := len(seg) * 8 / 2
+	bias := ones - half
+	if bias < 0 {
+		bias = -bias
+	}
+	if bias > c.cfg.MonobitSlack {
+		return &Failure{Test: Monobit, Observed: bias, Limit: c.cfg.MonobitSlack}
+	}
+
+	// LongRun: longest run of identical bits. Whole 0x00/0xFF bytes
+	// extend runs eight bits at a time; mixed bytes are scanned bitwise
+	// (LSB-first, matching the engines' byte packing).
+	longest, cur := 0, 0
+	curBit := uint8(2) // sentinel: no run yet
+	for _, b := range seg {
+		switch {
+		case b == 0x00 && curBit == 0:
+			cur += 8
+		case b == 0xFF && curBit == 1:
+			cur += 8
+		default:
+			for k := 0; k < 8; k++ {
+				bit := (b >> k) & 1
+				if bit == curBit {
+					cur++
+				} else {
+					if cur > longest {
+						longest = cur
+					}
+					curBit = bit
+					cur = 1
+				}
+			}
+		}
+		if cur >= c.cfg.LongRunBits {
+			return &Failure{Test: LongRun, Observed: cur, Limit: c.cfg.LongRunBits}
+		}
+	}
+	if cur > longest {
+		longest = cur
+	}
+	if longest >= c.cfg.LongRunBits {
+		return &Failure{Test: LongRun, Observed: longest, Limit: c.cfg.LongRunBits}
+	}
+	return nil
+}

@@ -94,6 +94,32 @@ func (lc *LabeledCounter) With(values ...string) *Counter {
 	return c
 }
 
+// LabeledGauge is a family of gauges keyed by label values
+// (a minimal GaugeVec).
+type LabeledGauge struct {
+	labels []string
+	mu     sync.Mutex
+	kids   map[string]*Gauge
+}
+
+// With returns (creating on first use) the child gauge for the given
+// label values, which must match the declared label names in count and
+// order.
+func (lg *LabeledGauge) With(values ...string) *Gauge {
+	if len(values) != len(lg.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(lg.labels)))
+	}
+	key := strings.Join(values, "\x00")
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	g := lg.kids[key]
+	if g == nil {
+		g = &Gauge{}
+		lg.kids[key] = g
+	}
+	return g
+}
+
 // metric is one registered exposition entry.
 type metric struct {
 	name, help, typ string
@@ -199,6 +225,37 @@ func (r *Registry) NewLabeledCounter(name, help string, labels ...string) *Label
 		}
 	}})
 	return lc
+}
+
+// NewLabeledGauge registers a gauge family with the given label names.
+func (r *Registry) NewLabeledGauge(name, help string, labels ...string) *LabeledGauge {
+	lg := &LabeledGauge{labels: labels, kids: map[string]*Gauge{}}
+	r.register(metric{name, help, "gauge", func(w io.Writer, n string) {
+		lg.mu.Lock()
+		keys := make([]string, 0, len(lg.kids))
+		for k := range lg.kids {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		type row struct {
+			key string
+			val int64
+		}
+		rows := make([]row, len(keys))
+		for i, k := range keys {
+			rows[i] = row{k, lg.kids[k].Value()}
+		}
+		lg.mu.Unlock()
+		for _, rw := range rows {
+			parts := strings.Split(rw.key, "\x00")
+			pairs := make([]string, len(parts))
+			for i, v := range parts {
+				pairs[i] = fmt.Sprintf("%s=%q", lg.labels[i], v)
+			}
+			fmt.Fprintf(w, "%s{%s} %d\n", n, strings.Join(pairs, ","), rw.val)
+		}
+	}})
+	return lg
 }
 
 // WriteText renders every registered metric in registration order using

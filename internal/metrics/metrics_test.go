@@ -129,3 +129,34 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatalf("lost updates: c=%d h=%d lc=%d", c.Value(), h.Count(), lc.With("a").Value())
 	}
 }
+
+func TestLabeledGauge(t *testing.T) {
+	r := NewRegistry()
+	lg := r.NewLabeledGauge("pool_quarantined", "Quarantined shards.", "alg")
+	lg.With("mickey").Set(2)
+	lg.With("grain").Add(1)
+	lg.With("grain").Add(-1)
+	// Same labels return the same child.
+	if lg.With("mickey") != lg.With("mickey") {
+		t.Fatal("With not stable for identical labels")
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE pool_quarantined gauge",
+		`pool_quarantined{alg="grain"} 0`,
+		`pool_quarantined{alg="mickey"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Label arity mismatch panics like LabeledCounter.
+	defer func() {
+		if recover() == nil {
+			t.Error("label arity mismatch did not panic")
+		}
+	}()
+	lg.With("a", "b")
+}

@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/health"
+)
+
+// metricValue extracts one un-labeled or exact-labeled sample from a
+// /metrics body.
+func metricValue(t *testing.T, body []byte, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(line[len(name)+1:]), 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad sample %q", name, line)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition:\n%s", name, body)
+	return 0
+}
+
+func getHealthz(t *testing.T, url string) (int, healthzResponse) {
+	t.Helper()
+	status, body, _ := get(t, url+"/healthz")
+	var hz healthzResponse
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatalf("healthz is not JSON (%v): %s", err, body)
+	}
+	return status, hz
+}
+
+// The tentpole chaos scenario, end to end: healthy deterministic
+// serving, then fault-injected corruption under concurrent traffic
+// until every shard is quarantined and /healthz degrades, then fault
+// removal, background reseed, probation, re-admission and a return to
+// healthy service — with the health metrics accounting for every phase.
+func TestChaosQuarantineAndRecovery(t *testing.T) {
+	if !faultinject.Available() {
+		t.Skip("faultinject compiled out")
+	}
+	t.Cleanup(faultinject.Reset)
+
+	const seed = 42
+	cfg := Config{
+		Seed:         seed,
+		Algorithms:   []core.Algorithm{core.MICKEY},
+		ShardsPerAlg: 2, WorkersPerShard: 1, StagingBytes: core.SegmentBytes,
+		RequestTimeout:  250 * time.Millisecond,
+		QuarantineAfter: 2, ProbationSegments: 2, ProbationInterval: 5 * time.Millisecond,
+	}
+	_, ts := newTestServer(t, cfg)
+	fpCorrupt := "server.segment.corrupt." + core.MICKEY.String()
+	fpCheckout := "server.checkout.fail." + core.MICKEY.String()
+
+	// --- Phase A: healthy baseline is byte-identical to the library ---
+	// Sequential segment-sized requests alternate over the two shards;
+	// bucket them by the shard header and compare each shard's
+	// concatenation against its reference stream.
+	perShard := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		status, body, hdr := get(t, ts.URL+"/bytes?alg=mickey&n=2048")
+		if status != http.StatusOK {
+			t.Fatalf("baseline request %d: status %d", i, status)
+		}
+		id := hdr.Get("X-Bsrng-Shard")
+		perShard[id] = append(perShard[id], body...)
+	}
+	for id, got := range perShard {
+		shardID, _ := strconv.Atoi(id)
+		ref, err := core.NewStream(core.MICKEY, shardSeed(seed, shardID),
+			core.StreamConfig{Workers: 1, StagingBytes: core.SegmentBytes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, len(got))
+		ref.Read(want)
+		ref.Close()
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shard %s healthy bytes diverge from the library stream", id)
+		}
+	}
+
+	// --- Phase B: corrupt every segment under concurrent traffic ---
+	faultinject.ArmRange(fpCorrupt, 1, 1<<40)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := ts.Client()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(ts.URL + "/bytes?alg=mickey&n=2048")
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+					t.Errorf("chaos traffic: unexpected status %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, hz := getHealthz(t, ts.URL)
+		if status == http.StatusServiceUnavailable && hz.Status == "degraded" {
+			ph := hz.Pools["mickey"]
+			if ph.Shards != 2 || ph.Quarantined != 2 {
+				t.Fatalf("degraded pool state %+v, want 2/2 quarantined", ph)
+			}
+			if ph.HealthFailures == 0 || ph.LastFailure == "" {
+				t.Fatalf("degraded pool hides its failures: %+v", ph)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never degraded; last: status=%d %+v", status, hz)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Fully quarantined: a sequential request gets 503 once checkout
+	// times out, and the quarantine metrics reflect both ejections.
+	if status, _, _ := get(t, ts.URL+"/bytes?alg=mickey&n=64"); status != http.StatusServiceUnavailable {
+		t.Fatalf("request to a fully quarantined pool: status %d, want 503", status)
+	}
+	_, mbody, _ := get(t, ts.URL+"/metrics")
+	if got := metricValue(t, mbody, `bsrngd_health_quarantines_total{alg="mickey"}`); got != 2 {
+		t.Errorf("quarantines_total = %v, want 2", got)
+	}
+	if got := metricValue(t, mbody, `bsrngd_health_quarantined_shards{alg="mickey"}`); got != 2 {
+		t.Errorf("quarantined_shards gauge = %v, want 2", got)
+	}
+	if !strings.Contains(string(mbody), `bsrngd_health_failures_total{alg="mickey",test="`) {
+		t.Errorf("no per-test health failure counters exported:\n%s", mbody)
+	}
+
+	// --- Phase C: heal the fault; rehabilitation re-admits both shards ---
+	faultinject.Disarm(fpCorrupt)
+	for {
+		status, hz := getHealthz(t, ts.URL)
+		if status == http.StatusOK && hz.Status == "ok" && hz.Pools["mickey"].Quarantined == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never recovered; last: status=%d %+v", status, hz)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, mbody, _ = get(t, ts.URL+"/metrics")
+	if got := metricValue(t, mbody, `bsrngd_health_readmits_total{alg="mickey"}`); got != 2 {
+		t.Errorf("readmits_total = %v, want 2", got)
+	}
+	if got := metricValue(t, mbody, `bsrngd_health_reseeds_total{alg="mickey"}`); got < 2 {
+		t.Errorf("reseeds_total = %v, want ≥ 2 (one per rehabilitated shard)", got)
+	}
+	if got := metricValue(t, mbody, `bsrngd_health_quarantined_shards{alg="mickey"}`); got != 0 {
+		t.Errorf("quarantined_shards gauge = %v after recovery, want 0", got)
+	}
+
+	// Recovered service is healthy: traffic flows, the reseeded streams
+	// pass the online tests, and no new failures accumulate.
+	_, before := getHealthz(t, ts.URL)
+	checker := health.NewChecker(health.Config{})
+	for i := 0; i < 8; i++ {
+		status, body, _ := get(t, ts.URL+"/bytes?alg=mickey&n=2048")
+		if status != http.StatusOK {
+			t.Fatalf("post-recovery request %d: status %d", i, status)
+		}
+		if err := checker.Check(body); err != nil {
+			t.Fatalf("post-recovery segment %d fails health tests: %v", i, err)
+		}
+	}
+	_, after := getHealthz(t, ts.URL)
+	if after.Pools["mickey"].HealthFailures != before.Pools["mickey"].HealthFailures {
+		t.Errorf("health failures grew after recovery: %d -> %d",
+			before.Pools["mickey"].HealthFailures, after.Pools["mickey"].HealthFailures)
+	}
+	if after.Pools["mickey"].SegmentsChecked <= before.Pools["mickey"].SegmentsChecked {
+		t.Error("online tests stopped running after recovery")
+	}
+
+	// --- Phase D: a forced checkout error surfaces as 503, then heals ---
+	faultinject.Arm(fpCheckout, 1)
+	if status, _, _ := get(t, ts.URL+"/bytes?alg=mickey&n=64"); status != http.StatusServiceUnavailable {
+		t.Fatalf("injected checkout fault: status %d, want 503", status)
+	}
+	if got := faultinject.Fired(fpCheckout); got != 1 {
+		t.Fatalf("checkout failpoint fired %d times, want 1", got)
+	}
+	if status, _, _ := get(t, ts.URL+"/bytes?alg=mickey&n=64"); status != http.StatusOK {
+		t.Fatalf("request after one-shot checkout fault: status %d, want 200", status)
+	}
+}
+
+// Two identically-faulted servers must serve identical bytes, and those
+// bytes must match the library stream under the same fault — the
+// discard/reseed episode itself is deterministic, not just the healthy
+// prefix.
+func TestChaosDoubleRunByteIdentical(t *testing.T) {
+	if !faultinject.Available() {
+		t.Skip("faultinject compiled out")
+	}
+	t.Cleanup(faultinject.Reset)
+
+	const (
+		seed       = 42
+		corruptNth = 3 // corrupt the 3rd checked segment of the run
+		segments   = 8
+	)
+	fpCorrupt := "server.segment.corrupt." + core.MICKEY.String()
+
+	run := func() []byte {
+		faultinject.Reset()
+		// Armed BEFORE the server exists: with a single shard and a single
+		// worker the Nth checked segment is the Nth produced segment,
+		// independent of request timing.
+		faultinject.Arm(fpCorrupt, corruptNth)
+		s, err := New(Config{
+			Seed:         seed,
+			Algorithms:   []core.Algorithm{core.MICKEY},
+			ShardsPerAlg: 1, WorkersPerShard: 1, StagingBytes: core.SegmentBytes,
+			QuarantineAfter: 100, // a single healed fault must not eject the shard
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			s.Shutdown(context.Background())
+		}()
+		var out []byte
+		for i := 0; i < segments; i++ {
+			status, body, _ := get(t, ts.URL+"/bytes?alg=mickey&n=2048")
+			if status != http.StatusOK {
+				t.Fatalf("segment %d: status %d", i, status)
+			}
+			out = append(out, body...)
+		}
+		return out
+	}
+
+	a := run()
+	b := run()
+	if faultinject.Fired(fpCorrupt) != 1 {
+		t.Fatal("corruption failpoint never fired — the scenario is vacuous")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("identically-faulted servers served different bytes")
+	}
+
+	// The library stream with the same per-check corruption hook defines
+	// the expected bytes of the whole episode (core keys the replacement
+	// segment from the same reseed epoch derivation).
+	checker := health.NewChecker(health.Config{})
+	var n atomic.Uint64
+	hook := func(seg []byte) error {
+		if n.Add(1) == corruptNth {
+			for i := range seg {
+				seg[i] = 0
+			}
+		}
+		return checker.Check(seg)
+	}
+	ref, err := core.NewStream(core.MICKEY, seed, core.StreamConfig{
+		Workers: 1, StagingBytes: core.SegmentBytes, Health: hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := make([]byte, len(a))
+	if _, err := ref.Read(want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Fatal("served chaos bytes diverge from the library stream under the same fault")
+	}
+	zero := make([]byte, core.SegmentBytes)
+	for off := 0; off < len(a); off += core.SegmentBytes {
+		if bytes.Equal(a[off:off+core.SegmentBytes], zero) {
+			t.Fatalf("corrupted segment at offset %d was served to a client", off)
+		}
+	}
+}
+
+// MaxInflight sheds excess load with 429 + Retry-After instead of
+// queueing it on shard checkout, and the shed requests are visible in
+// the admission metrics.
+func TestAdmissionControlShedsLoad(t *testing.T) {
+	s, err := New(Config{
+		Seed:         5,
+		Algorithms:   []core.Algorithm{core.GRAIN},
+		ShardsPerAlg: 1, WorkersPerShard: 1, StagingBytes: 1024,
+		MaxInflight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.testHookServing = func() {
+		select {
+		case entered <- struct{}{}:
+			<-release
+		default: // later requests pass straight through
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	})
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/bytes?alg=grain&n=64")
+		if err != nil {
+			done <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	<-entered // first request holds the in-flight budget
+
+	status, _, hdr := get(t, ts.URL+"/bytes?alg=grain&n=64")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request: status %d, want 429", status)
+	}
+	if hdr.Get("Retry-After") != "1" {
+		t.Errorf("Retry-After = %q, want %q", hdr.Get("Retry-After"), "1")
+	}
+
+	close(release)
+	if st := <-done; st != http.StatusOK {
+		t.Fatalf("in-budget request: status %d, want 200", st)
+	}
+	// The budget is released with the request.
+	if status, _, _ := get(t, ts.URL+"/bytes?alg=grain&n=64"); status != http.StatusOK {
+		t.Fatalf("request after budget freed: status %d, want 200", status)
+	}
+
+	_, mbody, _ := get(t, ts.URL+"/metrics")
+	if got := metricValue(t, mbody, "bsrngd_admission_rejected_total"); got != 1 {
+		t.Errorf("admission_rejected_total = %v, want 1", got)
+	}
+	if !strings.Contains(string(mbody), `requests_total{alg="grain",status="429"} 1`) {
+		t.Errorf("shed request not counted in requests_total:\n%s", mbody)
+	}
+}
+
+// /healthz carries the per-algorithm pool state as JSON while keeping
+// the 200-when-ok contract, and reports nothing checked when the online
+// tests are disabled.
+func TestHealthzReportsPoolState(t *testing.T) {
+	cfg := Config{Seed: 2, ShardsPerAlg: 2, WorkersPerShard: 1, StagingBytes: 2048}
+	_, ts := newTestServer(t, cfg)
+
+	if status, _, _ := get(t, ts.URL+"/bytes?alg=grain&n=2048"); status != http.StatusOK {
+		t.Fatal("priming request failed")
+	}
+	status, body, hdr := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", status)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("healthz content type %q", ct)
+	}
+	var hz healthzResponse
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatalf("healthz is not JSON (%v): %s", err, body)
+	}
+	if hz.Status != "ok" {
+		t.Errorf("status %q, want ok", hz.Status)
+	}
+	if len(hz.Pools) != len(core.Algorithms) {
+		t.Errorf("healthz reports %d pools, want %d", len(hz.Pools), len(core.Algorithms))
+	}
+	for _, alg := range core.Algorithms {
+		ph, ok := hz.Pools[alg.String()]
+		if !ok {
+			t.Errorf("pool %v missing from healthz", alg)
+			continue
+		}
+		if ph.Shards != 2 || ph.Quarantined != 0 {
+			t.Errorf("pool %v state %+v, want 2 shards, none quarantined", alg, ph)
+		}
+	}
+	if hz.Pools["grain"].SegmentsChecked == 0 {
+		t.Error("grain pool served traffic but reports zero checked segments")
+	}
+
+	// With the online tests disabled, nothing is checked and nothing can
+	// quarantine — but the endpoint still reports the pool shape.
+	_, ts2 := newTestServer(t, Config{
+		Seed:         2,
+		Algorithms:   []core.Algorithm{core.MICKEY},
+		ShardsPerAlg: 1, WorkersPerShard: 1, StagingBytes: 2048,
+		DisableHealth: true,
+	})
+	if status, _, _ := get(t, ts2.URL+"/bytes?alg=mickey&n=2048"); status != http.StatusOK {
+		t.Fatal("health-off request failed")
+	}
+	status, hz2 := getHealthz(t, ts2.URL)
+	if status != http.StatusOK || hz2.Status != "ok" {
+		t.Fatalf("health-off healthz: status=%d %+v", status, hz2)
+	}
+	if ph := hz2.Pools["mickey"]; ph.Shards != 1 || ph.SegmentsChecked != 0 || ph.HealthFailures != 0 {
+		t.Errorf("health-off pool state %+v, want 1 shard and zero health activity", ph)
+	}
+}

@@ -2,29 +2,94 @@ package server
 
 import (
 	"context"
+	"errors"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/health"
 )
 
 // shard is one exclusive core.Stream behind a one-token channel
 // semaphore, so checkout can block with a context (sync.Mutex cannot).
-// Holding the token means owning the stream.
+// Holding the token means owning the stream. A quarantined shard's
+// token is withheld by the pool until rehabilitation re-admits it, so
+// quarantine and checkout share one mechanism.
 type shard struct {
 	id     int
-	stream *core.Stream
+	stream atomic.Pointer[core.Stream]
 	sem    chan struct{}
+
+	quarantined atomic.Bool
+
+	// The fields below are only touched while holding the shard's token
+	// (a request in handback, or the rehab goroutine that owns the
+	// withheld token), so they need no further synchronization.
+	epoch        uint64 // reseed generation; bumped per rehab attempt
+	strikes      int    // consecutive checkouts that observed new health failures
+	seenFailures uint64 // stream HealthFailures watermark at last handback
 }
 
-func (sh *shard) release() { sh.sem <- struct{}{} }
+// checkoutRescanInterval bounds how stale a blocked checkout's view of
+// the shard set can get: even if a release nudge is lost to a full
+// channel, the waiter rescans every interval.
+const checkoutRescanInterval = time.Millisecond
 
-// pool is the per-algorithm shard set. Requests check shards out
-// round-robin; an idle shard anywhere in the pool is preferred over
-// blocking on the round-robin choice.
+// reseedSeedStep mixes the shard's reseed epoch into its stream seed so
+// a rehabilitated shard draws fresh, unrelated key material (an odd
+// multiplier keeps distinct epochs distinct mod 2^64).
+const reseedSeedStep = 0xA24BAED4963EE407
+
+// errCheckoutFault is the injected checkout failure (failpoint
+// server.checkout.fail.<alg>).
+var errCheckoutFault = errors.New("server: injected checkout fault")
+
+// poolConfig carries everything a per-algorithm pool needs, including
+// the server's metric callbacks (nil callbacks are skipped).
+type poolConfig struct {
+	alg     core.Algorithm
+	seed    uint64
+	shards  int
+	workers int
+	staging int
+	lanes   int
+
+	healthOff         bool
+	healthCfg         health.Config
+	quarantineAfter   int
+	probationSegments int
+	probationInterval time.Duration
+
+	onFailure    func(test string)
+	onQuarantine func()
+	onReseed     func()
+	onReadmit    func()
+}
+
+// pool is the per-algorithm shard set with its continuous health state.
+// Requests check shards out round-robin; a blocked checkout waits for
+// any shard to free up (release nudges + a rescan ticker), never for
+// one specific shard.
 type pool struct {
-	alg    core.Algorithm
-	shards []*shard
-	next   atomic.Uint64
+	cfg     poolConfig
+	checker *health.Checker // nil when health checks are disabled
+	shards  []*shard
+	next    atomic.Uint64
+	nudge   chan struct{} // release/readmit wakeups for blocked checkouts
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	rehabs    sync.WaitGroup
+
+	quarantinedCount atomic.Int64
+	lastFailure      atomic.Pointer[string]
+
+	// Failpoint names, precomputed per pool: DESIGN.md §8 lists them.
+	fpCheckout  string // server.checkout.fail.<alg>
+	fpCorrupt   string // server.segment.corrupt.<alg>
+	fpProbation string // server.probation.fail.<alg>
 }
 
 // shardSeed derives the stream seed for shard i. Shard 0 serves the
@@ -35,50 +100,216 @@ func shardSeed(seed uint64, i int) uint64 {
 	return seed + uint64(i)*0x9E3779B97F4A7C15
 }
 
-func newPool(alg core.Algorithm, seed uint64, shards, workers, staging, lanes int) (*pool, error) {
-	p := &pool{alg: alg}
-	for i := 0; i < shards; i++ {
-		st, err := core.NewStream(alg, shardSeed(seed, i), core.StreamConfig{
-			Workers:      workers,
-			StagingBytes: staging,
-			Lanes:        lanes,
-		})
+func newPool(cfg poolConfig) (*pool, error) {
+	p := &pool{
+		cfg:         cfg,
+		nudge:       make(chan struct{}, cfg.shards),
+		closed:      make(chan struct{}),
+		fpCheckout:  "server.checkout.fail." + cfg.alg.String(),
+		fpCorrupt:   "server.segment.corrupt." + cfg.alg.String(),
+		fpProbation: "server.probation.fail." + cfg.alg.String(),
+	}
+	if !cfg.healthOff {
+		p.checker = health.NewChecker(cfg.healthCfg)
+	}
+	for i := 0; i < cfg.shards; i++ {
+		sh := &shard{id: i, sem: make(chan struct{}, 1)}
+		st, err := p.newShardStream(sh)
 		if err != nil {
 			p.close()
 			return nil, err
 		}
-		sh := &shard{id: i, stream: st, sem: make(chan struct{}, 1)}
+		sh.stream.Store(st)
 		sh.sem <- struct{}{}
 		p.shards = append(p.shards, sh)
 	}
 	return p, nil
 }
 
-// checkout acquires a shard: fast-path scan for any idle shard starting
-// at the round-robin cursor, then a blocking wait on the cursor's shard
-// bounded by ctx.
-func (p *pool) checkout(ctx context.Context) (*shard, error) {
-	start := int(p.next.Add(1)-1) % len(p.shards)
-	for i := 0; i < len(p.shards); i++ {
-		sh := p.shards[(start+i)%len(p.shards)]
-		select {
-		case <-sh.sem:
-			return sh, nil
-		default:
+// newShardStream builds the shard's stream at its current reseed epoch,
+// wired to the pool's health hook.
+func (p *pool) newShardStream(sh *shard) (*core.Stream, error) {
+	seed := shardSeed(p.cfg.seed, sh.id) + reseedSeedStep*sh.epoch
+	var hook func([]byte) error
+	if p.checker != nil {
+		hook = p.healthHook
+	}
+	return core.NewStream(p.cfg.alg, seed, core.StreamConfig{
+		Workers:      p.cfg.workers,
+		StagingBytes: p.cfg.staging,
+		Lanes:        p.cfg.lanes,
+		Health:       hook,
+	})
+}
+
+// healthHook runs in stream worker goroutines: it applies the per-pool
+// corruption failpoint (chaos tests only; unarmed it is one atomic
+// load) and evaluates the segment against the continuous tests.
+func (p *pool) healthHook(seg []byte) error {
+	if faultinject.Hit(p.fpCorrupt) {
+		for i := range seg {
+			seg[i] = 0
 		}
 	}
-	sh := p.shards[start]
-	select {
-	case <-sh.sem:
-		return sh, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	err := p.checker.Check(seg)
+	if err != nil {
+		var f *health.Failure
+		if errors.As(err, &f) {
+			name := f.Test.String()
+			p.lastFailure.Store(&name)
+			if p.cfg.onFailure != nil {
+				p.cfg.onFailure(name)
+			}
+		}
+	}
+	return err
+}
+
+// checkout acquires a shard: a non-blocking scan for any idle shard
+// starting at the round-robin cursor, then a wait for ANY shard to free
+// up (not just the cursor's — a request must never starve behind one
+// busy shard while another is idle), bounded by ctx.
+func (p *pool) checkout(ctx context.Context) (*shard, error) {
+	if faultinject.Hit(p.fpCheckout) {
+		return nil, errCheckoutFault
+	}
+	start := int(p.next.Add(1)-1) % len(p.shards)
+	for {
+		for i := 0; i < len(p.shards); i++ {
+			sh := p.shards[(start+i)%len(p.shards)]
+			select {
+			case <-sh.sem:
+				return sh, nil
+			default:
+			}
+		}
+		timer := time.NewTimer(checkoutRescanInterval)
+		select {
+		case <-p.nudge:
+			timer.Stop()
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
 	}
 }
 
+// wake lets one blocked checkout rescan; dropping the nudge when the
+// channel is full is fine because every waiter also rescans on a
+// ticker.
+func (p *pool) wake() {
+	select {
+	case p.nudge <- struct{}{}:
+	default:
+	}
+}
+
+// handback returns a checked-out shard. If the shard's stream tripped
+// new health failures while this holder owned it, the shard earns a
+// strike; quarantineAfter consecutive striking checkouts eject it from
+// rotation (the token is withheld) and hand it to the background
+// rehabilitation loop.
+func (p *pool) handback(sh *shard) {
+	if p.checker != nil {
+		st := sh.stream.Load().Stats()
+		if st.HealthFailures > sh.seenFailures {
+			sh.seenFailures = st.HealthFailures
+			sh.strikes++
+			if sh.strikes >= p.cfg.quarantineAfter {
+				p.quarantine(sh)
+				return
+			}
+		} else {
+			sh.strikes = 0
+		}
+	}
+	sh.sem <- struct{}{}
+	p.wake()
+}
+
+// quarantine ejects the shard (caller holds its token, which is NOT
+// returned) and starts the rehab loop.
+func (p *pool) quarantine(sh *shard) {
+	sh.quarantined.Store(true)
+	p.quarantinedCount.Add(1)
+	if p.cfg.onQuarantine != nil {
+		p.cfg.onQuarantine()
+	}
+	p.rehabs.Add(1)
+	go p.rehab(sh)
+}
+
+// rehab is the background recovery loop of one quarantined shard:
+// reseed (a fresh stream at a bumped epoch), run a probation pass of
+// probationSegments segments through the health checker, and re-admit
+// on success; a failed probation retries after probationInterval. The
+// loop exits when the pool closes.
+func (p *pool) rehab(sh *shard) {
+	defer p.rehabs.Done()
+	for {
+		select {
+		case <-p.closed:
+			return
+		default:
+		}
+		if p.probation(sh) {
+			sh.strikes = 0
+			sh.seenFailures = 0
+			sh.quarantined.Store(false)
+			p.quarantinedCount.Add(-1)
+			if p.cfg.onReadmit != nil {
+				p.cfg.onReadmit()
+			}
+			sh.sem <- struct{}{}
+			p.wake()
+			return
+		}
+		select {
+		case <-p.closed:
+			return
+		case <-time.After(p.cfg.probationInterval):
+		}
+	}
+}
+
+// probation runs one reseed + probation attempt; on success the shard's
+// stream is swapped for the rehabilitated one and the condemned stream
+// is closed.
+func (p *pool) probation(sh *shard) bool {
+	if faultinject.Hit(p.fpProbation) {
+		return false
+	}
+	sh.epoch++
+	st, err := p.newShardStream(sh)
+	if err != nil {
+		return false
+	}
+	if p.cfg.onReseed != nil {
+		p.cfg.onReseed()
+	}
+	buf := make([]byte, core.SegmentBytes)
+	for i := 0; i < p.cfg.probationSegments; i++ {
+		if _, err := st.Read(buf); err != nil {
+			st.Close()
+			return false
+		}
+	}
+	if ss := st.Stats(); ss.HealthFailures != 0 || ss.HealthUnrecovered != 0 {
+		st.Close()
+		return false
+	}
+	old := sh.stream.Swap(st)
+	old.Close()
+	return true
+}
+
+// close stops rehab loops, then the shard streams. Safe to call twice.
 func (p *pool) close() {
+	p.closeOnce.Do(func() { close(p.closed) })
+	p.rehabs.Wait()
 	for _, sh := range p.shards {
-		sh.stream.Close()
+		sh.stream.Load().Close()
 	}
 }
 
@@ -86,10 +317,42 @@ func (p *pool) close() {
 func (p *pool) stats() core.StreamStats {
 	var sum core.StreamStats
 	for _, sh := range p.shards {
-		st := sh.stream.Stats()
+		st := sh.stream.Load().Stats()
 		sum.ChunksProduced += st.ChunksProduced
 		sum.BytesDelivered += st.BytesDelivered
 		sum.RecycleHits += st.RecycleHits
+		sum.HealthFailures += st.HealthFailures
+		sum.EngineReseeds += st.EngineReseeds
+		sum.HealthUnrecovered += st.HealthUnrecovered
 	}
 	return sum
+}
+
+// poolHealth is the /healthz view of one algorithm's shard set.
+type poolHealth struct {
+	Shards          int    `json:"shards"`
+	Quarantined     int    `json:"quarantined"`
+	SegmentsChecked uint64 `json:"segments_checked"`
+	HealthFailures  uint64 `json:"health_failures"`
+	LastFailure     string `json:"last_failure,omitempty"`
+}
+
+// healthSnapshot is safe to call concurrently with serving and rehab.
+func (p *pool) healthSnapshot() poolHealth {
+	h := poolHealth{Shards: len(p.shards), Quarantined: int(p.quarantinedCount.Load())}
+	if p.checker != nil {
+		cs := p.checker.Stats()
+		h.SegmentsChecked = cs.Segments
+		h.HealthFailures = cs.Total()
+	}
+	if lf := p.lastFailure.Load(); lf != nil {
+		h.LastFailure = *lf
+	}
+	return h
+}
+
+// fullyQuarantined reports whether no shard can serve — the condition
+// that degrades /healthz to 503 for this algorithm.
+func (p *pool) fullyQuarantined() bool {
+	return int(p.quarantinedCount.Load()) == len(p.shards)
 }

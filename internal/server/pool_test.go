@@ -1,0 +1,240 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+// newCheckoutPool builds a small health-off pool for checkout-path tests
+// (no strike bookkeeping, so handback is a pure token return).
+func newCheckoutPool(t *testing.T, shards int) *pool {
+	t.Helper()
+	p, err := newPool(poolConfig{
+		alg: core.MICKEY, seed: 11, shards: shards, workers: 1, staging: 1024,
+		healthOff: true, quarantineAfter: 3, probationSegments: 1,
+		probationInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.close)
+	return p
+}
+
+// Regression: a blocked checkout must wait for ANY shard, not for the
+// round-robin cursor's shard. The original slow path parked on one
+// specific shard's semaphore; with that shard held indefinitely and the
+// other shard released, the waiter starved forever even though capacity
+// was free. This test holds the cursor's shard and releases only the
+// other one.
+func TestCheckoutWaitsForAnyShard(t *testing.T) {
+	p := newCheckoutPool(t, 2)
+	ctx := context.Background()
+
+	a, err := p.checkout(ctx) // cursor 0 -> shard 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.checkout(ctx) // cursor 1 -> shard 1
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The waiter's cursor lands back on shard 0 (held by a for the whole
+	// test) — under the old behavior it would camp there and time out.
+	got := make(chan *shard, 1)
+	errc := make(chan error, 1)
+	go func() {
+		wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		sh, err := p.checkout(wctx)
+		if err != nil {
+			errc <- err
+			return
+		}
+		got <- sh
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter block
+
+	p.handback(b) // free ONLY the non-cursor shard; a stays held
+	select {
+	case sh := <-got:
+		if sh != b {
+			t.Fatalf("waiter got shard %d, want the released shard %d", sh.id, b.id)
+		}
+		p.handback(sh)
+	case err := <-errc:
+		t.Fatalf("blocked checkout failed: %v", err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("checkout starved behind a busy shard while another was idle")
+	}
+	p.handback(a)
+}
+
+// A storm of checkouts with tiny or already-expired deadlines, racing
+// against release/reacquire churn, must neither leak nor duplicate a
+// shard token. Runs under -race in CI.
+func TestCheckoutCancellationStorm(t *testing.T) {
+	p := newCheckoutPool(t, 2)
+	ctx := context.Background()
+
+	held := make([]*shard, 2)
+	for i := range held {
+		sh, err := p.checkout(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held[i] = sh
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, time.Duration(i%5)*time.Millisecond)
+			defer cancel()
+			sh, err := p.checkout(cctx)
+			if err == nil {
+				// Raced a release and legitimately won a token; return it.
+				p.handback(sh)
+				return
+			}
+			if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+				t.Errorf("storm checkout: unexpected error %v", err)
+			}
+		}(i)
+	}
+
+	// Churn tokens through the pool while the storm cancels around us.
+	for i := 0; i < 50; i++ {
+		p.handback(held[i%2])
+		sh, err := p.checkout(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held[i%2] = sh
+	}
+	wg.Wait()
+	for _, sh := range held {
+		p.handback(sh)
+	}
+
+	// No token leaked: the full shard set must be immediately acquirable.
+	nctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	var again []*shard
+	for i := 0; i < 2; i++ {
+		sh, err := p.checkout(nctx)
+		if err != nil {
+			t.Fatalf("shard token leaked during the storm: %v", err)
+		}
+		again = append(again, sh)
+	}
+	if again[0] == again[1] {
+		t.Fatal("the same shard was handed out twice")
+	}
+	for _, sh := range again {
+		p.handback(sh)
+	}
+}
+
+// The full quarantine lifecycle at the pool layer, driven
+// deterministically by the per-pool corruption failpoint: repeated
+// striking checkouts eject the shard, checkout then blocks (the token
+// is withheld), probation keeps failing while the fault is armed, and
+// disarming lets rehabilitation reseed and re-admit a clean shard.
+func TestPoolQuarantineLifecycle(t *testing.T) {
+	if !faultinject.Available() {
+		t.Skip("faultinject compiled out")
+	}
+	t.Cleanup(faultinject.Reset)
+
+	var quarantines, reseeds, readmits atomic.Int64
+	p, err := newPool(poolConfig{
+		alg: core.TRIVIUM, seed: 9, shards: 1, workers: 1, staging: 2048,
+		quarantineAfter: 2, probationSegments: 2, probationInterval: time.Millisecond,
+		onQuarantine: func() { quarantines.Add(1) },
+		onReseed:     func() { reseeds.Add(1) },
+		onReadmit:    func() { readmits.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.close)
+
+	faultinject.ArmRange(p.fpCorrupt, 1, 1<<40) // corrupt every produced segment
+	ctx := context.Background()
+	deadline := time.Now().Add(15 * time.Second)
+	buf := make([]byte, core.SegmentBytes)
+	var seen uint64
+	for quarantines.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("shard never quarantined under sustained corruption")
+		}
+		sh, err := p.checkout(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Hold the shard and read from it (reads drive production) until
+		// its stream has tripped NEW failures, so this checkout counts as
+		// a strike at handback.
+		for sh.stream.Load().Stats().HealthFailures <= seen {
+			if time.Now().After(deadline) {
+				t.Fatal("corrupted stream never recorded a health failure")
+			}
+			if _, err := sh.stream.Load().Read(buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seen = sh.stream.Load().Stats().HealthFailures
+		p.handback(sh)
+	}
+	if got := quarantines.Load(); got != 1 {
+		t.Fatalf("quarantines = %d, want 1", got)
+	}
+	if got := p.quarantinedCount.Load(); got != 1 {
+		t.Fatalf("quarantinedCount = %d, want 1", got)
+	}
+	if !p.fullyQuarantined() {
+		t.Fatal("single-shard pool not reported fully quarantined")
+	}
+
+	// The token is withheld: checkout must time out, and probation cannot
+	// pass while every probation segment is corrupted too.
+	sctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	if _, err := p.checkout(sctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("checkout of a fully quarantined pool: %v, want deadline exceeded", err)
+	}
+	cancel()
+	if got := readmits.Load(); got != 0 {
+		t.Fatalf("shard re-admitted while corruption still armed (%d readmits)", got)
+	}
+
+	// Heal the fault; rehabilitation must reseed and re-admit.
+	faultinject.Disarm(p.fpCorrupt)
+	rctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	sh, err := p.checkout(rctx)
+	if err != nil {
+		t.Fatalf("pool never recovered after the fault healed: %v", err)
+	}
+	if readmits.Load() != 1 || reseeds.Load() < 1 {
+		t.Fatalf("readmits=%d reseeds=%d, want 1 readmit and ≥1 reseed",
+			readmits.Load(), reseeds.Load())
+	}
+	if p.quarantinedCount.Load() != 0 || p.fullyQuarantined() {
+		t.Fatal("pool still reports quarantine after re-admission")
+	}
+	if st := sh.stream.Load().Stats(); st.HealthFailures != 0 || st.HealthUnrecovered != 0 {
+		t.Fatalf("rehabilitated shard carries old failures: %+v", st)
+	}
+	p.handback(sh)
+}

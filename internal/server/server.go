@@ -5,24 +5,37 @@
 // stream bytes from it, and return it. Everything is instrumented
 // through internal/metrics and exposed on /metrics.
 //
+// Every shard stream runs the continuous online health tests of
+// internal/health against each produced segment. A shard whose stream
+// trips repeated failures is quarantined: ejected from rotation,
+// reseeded in the background, re-admitted only after a clean probation
+// pass. /healthz degrades to 503 while any algorithm's pool is fully
+// quarantined, and optional admission control (MaxInflight) sheds load
+// with 429 + Retry-After while the pool is shrunk.
+//
 // Endpoints:
 //
 //	GET /bytes?alg=mickey&n=1024[&hex=1]  — n pseudo-random bytes
-//	GET /healthz                          — 200 ok / 503 draining
+//	GET /healthz                          — per-algorithm pool state as
+//	                                        JSON; 200 ok / 503 degraded
+//	                                        or draining
 //	GET /metrics                          — text exposition
 package server
 
 import (
 	"context"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/metrics"
 )
 
@@ -50,6 +63,26 @@ type Config struct {
 	MaxRequestBytes int64
 	// RequestTimeout bounds shard checkout + generation (default 30s).
 	RequestTimeout time.Duration
+	// MaxInflight caps concurrent /bytes requests; excess requests get
+	// 429 with a Retry-After header instead of queueing on checkout.
+	// 0 disables admission control.
+	MaxInflight int
+	// DisableHealth turns off the continuous online health tests (and
+	// with them shard quarantine). They are ON by default: healthy
+	// engines never trip the cutoffs, so the served bytes are unchanged.
+	DisableHealth bool
+	// Health overrides the per-test cutoffs (zero fields = defaults;
+	// see health.Config).
+	Health health.Config
+	// QuarantineAfter is the number of consecutive checkouts observing
+	// new health failures before a shard is quarantined (default 3).
+	QuarantineAfter int
+	// ProbationSegments is the number of clean segments a reseeded
+	// shard must produce before re-admission (default 4).
+	ProbationSegments int
+	// ProbationInterval is the delay between failed probation attempts
+	// (default 1s).
+	ProbationInterval time.Duration
 }
 
 // Server owns the shard pools, the metrics registry and the HTTP mux.
@@ -68,6 +101,14 @@ type Server struct {
 	checkoutLat   *metrics.Histogram
 	streamsActive *metrics.Gauge
 	shardsBusy    *metrics.Gauge
+
+	inflightNow       atomic.Int64
+	healthFailures    *metrics.LabeledCounter
+	healthQuarantines *metrics.LabeledCounter
+	healthReseeds     *metrics.LabeledCounter
+	healthReadmits    *metrics.LabeledCounter
+	healthQuarantined *metrics.LabeledGauge
+	admissionRejected *metrics.Counter
 
 	// testHookServing, when set, runs while a /bytes request holds its
 	// shard — it lets tests freeze a request in flight.
@@ -100,6 +141,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
+	if cfg.MaxInflight < 0 {
+		return nil, fmt.Errorf("server: max in-flight %d out of range", cfg.MaxInflight)
+	}
+	if cfg.QuarantineAfter == 0 {
+		cfg.QuarantineAfter = 3
+	}
+	if cfg.QuarantineAfter < 1 {
+		return nil, fmt.Errorf("server: quarantine-after %d out of range", cfg.QuarantineAfter)
+	}
+	if cfg.ProbationSegments == 0 {
+		cfg.ProbationSegments = 4
+	}
+	if cfg.ProbationSegments < 1 {
+		return nil, fmt.Errorf("server: probation segments %d out of range", cfg.ProbationSegments)
+	}
+	if cfg.ProbationInterval == 0 {
+		cfg.ProbationInterval = time.Second
+	}
 
 	s := &Server{
 		cfg:   cfg,
@@ -118,12 +177,52 @@ func New(cfg Config) (*Server, error) {
 		"Live core.Stream pools (shards) across all algorithms.")
 	s.shardsBusy = s.reg.NewGauge("shards_busy",
 		"Shards currently checked out by requests.")
+	s.healthFailures = s.reg.NewLabeledCounter("bsrngd_health_failures_total",
+		"Segments condemned by the continuous online health tests, by algorithm and test.",
+		"alg", "test")
+	s.healthQuarantines = s.reg.NewLabeledCounter("bsrngd_health_quarantines_total",
+		"Shards ejected from rotation after repeated health failures.", "alg")
+	s.healthReseeds = s.reg.NewLabeledCounter("bsrngd_health_reseeds_total",
+		"Background shard stream reseeds attempted during rehabilitation.", "alg")
+	s.healthReadmits = s.reg.NewLabeledCounter("bsrngd_health_readmits_total",
+		"Quarantined shards re-admitted after a clean probation pass.", "alg")
+	s.healthQuarantined = s.reg.NewLabeledGauge("bsrngd_health_quarantined_shards",
+		"Shards currently quarantined.", "alg")
+	s.admissionRejected = s.reg.NewCounter("bsrngd_admission_rejected_total",
+		"Requests shed with 429 by MaxInflight admission control.")
+	s.reg.NewGaugeFunc("bsrngd_inflight_requests",
+		"Concurrent /bytes requests currently being served.",
+		func() float64 { return float64(s.inflightNow.Load()) })
 
 	for _, alg := range cfg.Algorithms {
 		if _, dup := s.pools[alg]; dup {
 			return nil, fmt.Errorf("server: algorithm %v configured twice", alg)
 		}
-		p, err := newPool(alg, cfg.Seed, cfg.ShardsPerAlg, cfg.WorkersPerShard, cfg.StagingBytes, cfg.Lanes)
+		algL := alg.String()
+		s.healthQuarantined.With(algL).Set(0)
+		p, err := newPool(poolConfig{
+			alg:               alg,
+			seed:              cfg.Seed,
+			shards:            cfg.ShardsPerAlg,
+			workers:           cfg.WorkersPerShard,
+			staging:           cfg.StagingBytes,
+			lanes:             cfg.Lanes,
+			healthOff:         cfg.DisableHealth,
+			healthCfg:         cfg.Health,
+			quarantineAfter:   cfg.QuarantineAfter,
+			probationSegments: cfg.ProbationSegments,
+			probationInterval: cfg.ProbationInterval,
+			onFailure:         func(test string) { s.healthFailures.With(algL, test).Inc() },
+			onQuarantine: func() {
+				s.healthQuarantines.With(algL).Inc()
+				s.healthQuarantined.With(algL).Add(1)
+			},
+			onReseed: func() { s.healthReseeds.With(algL).Inc() },
+			onReadmit: func() {
+				s.healthReadmits.With(algL).Inc()
+				s.healthQuarantined.With(algL).Add(-1)
+			},
+		})
 		if err != nil {
 			s.closePools()
 			return nil, err
@@ -140,6 +239,18 @@ func New(cfg Config) (*Server, error) {
 	s.reg.NewGaugeFunc("engine_recycle_hits_total",
 		"Staging buffers recycled from the free list, summed over shards.",
 		func() float64 { return float64(s.poolStats().RecycleHits) })
+	s.reg.NewGaugeFunc("bsrngd_health_segments_checked_total",
+		"Segments evaluated by the continuous health tests across all pools.",
+		func() float64 {
+			var sum uint64
+			for _, p := range s.pools {
+				sum += p.healthSnapshot().SegmentsChecked
+			}
+			return float64(sum)
+		})
+	s.reg.NewGaugeFunc("bsrngd_health_engine_reseeds_total",
+		"In-stream engine reseeds triggered by condemned segments, summed over shards.",
+		func() float64 { return float64(s.poolStats().EngineReseeds) })
 
 	s.mux.HandleFunc("GET /bytes", s.handleBytes)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -207,16 +318,38 @@ func (s *Server) closePools() {
 	}
 }
 
+// healthzResponse is the /healthz document: overall status plus the
+// per-algorithm pool state.
+type healthzResponse struct {
+	// Status is "ok", "degraded" (some algorithm's pool is fully
+	// quarantined) or "draining" (shutdown in progress). The non-ok
+	// states respond 503.
+	Status string                `json:"status"`
+	Pools  map[string]poolHealth `json:"pools"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	draining := s.draining
 	s.mu.RUnlock()
-	if draining {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+
+	resp := healthzResponse{Status: "ok", Pools: make(map[string]poolHealth, len(s.pools))}
+	for alg, p := range s.pools {
+		resp.Pools[alg.String()] = p.healthSnapshot()
+		if p.fullyQuarantined() {
+			resp.Status = "degraded"
+		}
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	if draining {
+		resp.Status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if resp.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -271,6 +404,19 @@ func (s *Server) handleBytes(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.inflight.Done()
 
+	// Admission control: when the configured in-flight budget is spent
+	// (e.g. a quarantine shrank the pool under sustained load), shed the
+	// request immediately instead of piling it onto checkout.
+	n2 := s.inflightNow.Add(1)
+	defer s.inflightNow.Add(-1)
+	if s.cfg.MaxInflight > 0 && n2 > int64(s.cfg.MaxInflight) {
+		s.admissionRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, alg.String(), http.StatusTooManyRequests,
+			fmt.Sprintf("server at max in-flight requests (%d)", s.cfg.MaxInflight))
+		return
+	}
+
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
@@ -281,9 +427,10 @@ func (s *Server) handleBytes(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, alg.String(), http.StatusServiceUnavailable, "all shards busy")
 		return
 	}
+	st := sh.stream.Load()
 	s.shardsBusy.Add(1)
 	defer func() {
-		sh.release()
+		p.handback(sh)
 		s.shardsBusy.Add(-1)
 	}()
 	if s.testHookServing != nil {
@@ -306,7 +453,7 @@ func (s *Server) handleBytes(w http.ResponseWriter, r *http.Request) {
 		if k > n-served {
 			k = n - served
 		}
-		if _, err := sh.stream.Read(buf[:k]); err != nil {
+		if _, err := st.Read(buf[:k]); err != nil {
 			break // stream closed under us (forced shutdown); stop short
 		}
 		var werr error
