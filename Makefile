@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench-smoke bench fuzz fmt serve cover
+.PHONY: verify fmt-check vet lint build test race bench-smoke bench fuzz fmt serve cover nofaultinject
 
-verify: fmt-check vet build test race bench-smoke
+verify: fmt-check vet lint build test race bench-smoke
 	@echo "verify: all checks passed"
 
 fmt-check:
@@ -17,6 +17,12 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific invariants (determinism, failpoint names, metric names,
+# atomic/plain mixes, goroutine hygiene, error conventions) — see
+# DESIGN.md §9.
+lint:
+	$(GO) run ./cmd/bsrnglint ./...
+
 build:
 	$(GO) build ./...
 
@@ -24,7 +30,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/server/...
+	$(GO) test -race -short ./...
+
+# The production configuration: the failpoint registry compiled to
+# no-ops. Chaos tests skip themselves via faultinject.Available().
+nofaultinject:
+	$(GO) build -tags bsrng_nofaultinject ./...
+	$(GO) test -tags bsrng_nofaultinject ./...
 
 # One iteration of every benchmark, so bench code can never rot.
 bench-smoke:
@@ -49,7 +61,7 @@ fuzz:
 COVER_FLOOR ?= 85.0
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
-	@for pkg in internal/health internal/faultinject; do \
+	@for pkg in internal/health internal/faultinject internal/lint; do \
 		{ head -n 1 coverage.out; grep "^repro/$$pkg/" coverage.out; } > coverage.pkg.out; \
 		pct="$$($(GO) tool cover -func=coverage.pkg.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }')"; \
 		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \

@@ -1,0 +1,53 @@
+// Command bsrnglint runs the repo's static-analysis suite (internal/lint)
+// over the enclosing module and prints one line per finding:
+//
+//	file:line: [rule] message
+//
+// It exits 0 when the tree is clean, 1 on findings, and 2 when the
+// module cannot be loaded. Package patterns on the command line (e.g.
+// ./...) are accepted for familiarity but the suite always analyzes the
+// whole module — every analyzer is a module-wide property.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(".", os.Stdout, os.Stderr))
+}
+
+func run(dir string, out, errw io.Writer) int {
+	root, modPath, err := lint.FindModule(dir)
+	if err != nil {
+		fmt.Fprintln(errw, "bsrnglint:", err)
+		return 2
+	}
+	m, err := lint.Load(modPath, map[string]string{modPath: root})
+	if err != nil {
+		fmt.Fprintln(errw, "bsrnglint:", err)
+		return 2
+	}
+	diags := lint.Run(m, lint.DefaultConfig(modPath), lint.Analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(out, "%s:%d: %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errw, "bsrnglint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// relPath shortens filenames to module-relative form when possible.
+func relPath(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		return rel
+	}
+	return name
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanTree runs the driver over this repository and demands a
+// clean exit — the same gate CI's lint job applies. Loading the whole
+// module through the source importer takes a few seconds, so -short
+// skips it.
+func TestRunCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide lint load is slow; skipped in -short")
+	}
+	var out, errw bytes.Buffer
+	if code := run(".", &out, &errw); code != 0 {
+		t.Fatalf("bsrnglint exit %d on the repo tree\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+// TestRunNoModule checks the load-error exit path.
+func TestRunNoModule(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(t.TempDir(), &out, &errw); code != 2 {
+		t.Fatalf("exit = %d, want 2 for a directory outside any module", code)
+	}
+	if !strings.Contains(errw.String(), "no go.mod") {
+		t.Errorf("stderr = %q, want a no-go.mod load error", errw.String())
+	}
+}

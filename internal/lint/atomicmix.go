@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// AtomicMix catches the race class the -race job only finds when a test
+// happens to interleave the two sides: a struct field passed to
+// sync/atomic (atomic.AddUint64(&s.n, 1)) that is also read or written
+// plainly somewhere else. Mixed access is a data race even when every
+// individual operation looks innocent, and it defeats the memory-order
+// guarantees the atomic side was added for.
+//
+// Composite-literal keys are deliberately exempt: initializing the field
+// before any goroutine can observe it is the standard construction
+// pattern. Typed atomics (atomic.Uint64 et al.) cannot mix by
+// construction and are the preferred fix.
+var AtomicMix = &Analyzer{
+	Name: "atomic-mix",
+	Doc:  "a field accessed via sync/atomic must never be accessed plainly",
+	Run:  runAtomicMix,
+}
+
+var atomicFuncRE = regexp.MustCompile(`^(Add|Load|Store|Swap|CompareAndSwap)`)
+
+func runAtomicMix(m *Module, _ *Config, report func(token.Pos, string, ...any)) {
+	// Pass 1: every field that reaches sync/atomic as &x.f, and the
+	// selector nodes that do so (those are the sanctioned accesses).
+	atomicFields := map[*types.Var]token.Position{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicFuncRE.MatchString(fn.Name()) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if fv := fieldOf(pkg.Info, sel); fv != nil {
+						if _, seen := atomicFields[fv]; !seen {
+							atomicFields[fv] = m.Fset.Position(sel.Pos())
+						}
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: any other selector touching one of those fields is a
+	// plain access.
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				fv := fieldOf(pkg.Info, sel)
+				if fv == nil {
+					return true
+				}
+				if atomicPos, ok := atomicFields[fv]; ok {
+					report(sel.Pos(), "field %s is accessed via sync/atomic (e.g. %s:%d) but plainly here — mixed access is a data race; use a typed atomic",
+						fv.Name(), atomicPos.Filename, atomicPos.Line)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fieldOf resolves a selector to the struct field it denotes, nil for
+// methods, package members and non-field selections.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism enforces the datapath's bit-for-bit reproducibility
+// contract: the packages that produce the canonical BSRNG byte stream
+// must not read wall clocks, environment variables or math/rand, and
+// must not iterate maps (Go randomizes the order, so any output
+// influenced by it diverges between runs). internal/server and test
+// files are exempt — only the configured datapath packages are checked.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "datapath packages must stay bit-for-bit deterministic",
+	Run:  runDeterminism,
+}
+
+// bannedDatapathCalls maps package path -> function names whose results
+// depend on ambient state.
+var bannedDatapathCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"os": {
+		"Getenv":    "environment lookup",
+		"LookupEnv": "environment lookup",
+		"Environ":   "environment lookup",
+	},
+}
+
+// bannedDatapathImports are packages whose every use is nondeterministic
+// by design.
+var bannedDatapathImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runDeterminism(m *Module, cfg *Config, report func(token.Pos, string, ...any)) {
+	for _, pkg := range m.Packages {
+		if !matchesAny(cfg.DatapathPackages, pkg.ImportPath) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				if path, ok := stringLit(imp.Path); ok && bannedDatapathImports[path] {
+					report(imp.Pos(), "import of %s in datapath package %s: its output is nondeterministic, which breaks the bit-for-bit stream contract", path, pkg.Name)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					fn := calleeFunc(pkg.Info, x)
+					if fn == nil || fn.Pkg() == nil {
+						return true
+					}
+					if effects, ok := bannedDatapathCalls[fn.Pkg().Path()]; ok {
+						if what, ok := effects[fn.Name()]; ok {
+							report(x.Pos(), "%s %s.%s in datapath package %s: the canonical stream must not depend on ambient state", what, fn.Pkg().Name(), fn.Name(), pkg.Name)
+						}
+					}
+				case *ast.RangeStmt:
+					if tv, ok := pkg.Info.Types[x.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							report(x.Pos(), "map iteration in datapath package %s: Go randomizes the order, so any output derived from it is nondeterministic", pkg.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// ErrorConventions keeps the module's error plumbing wrap-transparent:
+// Err* sentinels are matched with errors.Is (identity comparison breaks
+// the moment anyone wraps), and fmt.Errorf formats error values with %w
+// so callers can keep unwrapping. Non-test code is checked with type
+// information; test files get a syntactic pass for the same == / !=
+// pattern against Err*-named identifiers.
+var ErrorConventions = &Analyzer{
+	Name: "error-conventions",
+	Doc:  "Err* sentinels are compared with errors.Is and wrapped via %w",
+	Run:  runErrorConventions,
+}
+
+var sentinelNameRE = regexp.MustCompile(`^Err[A-Z0-9]`)
+
+func runErrorConventions(m *Module, _ *Config, report func(token.Pos, string, ...any)) {
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.BinaryExpr:
+					checkTypedComparison(pkg, x, report)
+				case *ast.CallExpr:
+					checkErrorfWrap(pkg, x, report)
+				}
+				return true
+			})
+		}
+		for _, f := range pkg.TestFiles {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				name, ok := sentinelName(be.X)
+				if !ok {
+					name, ok = sentinelName(be.Y)
+				}
+				if ok && !isNilIdent(be.X) && !isNilIdent(be.Y) {
+					report(be.Pos(), "sentinel %s compared with %s — use errors.Is, which survives wrapping", name, be.Op)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkTypedComparison flags == / != where one operand is an
+// error-typed Err* sentinel and the other is not nil.
+func checkTypedComparison(pkg *Package, be *ast.BinaryExpr, report func(token.Pos, string, ...any)) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	isSentinel := func(e ast.Expr) (string, bool) {
+		obj := exprObject(pkg.Info, e)
+		if obj == nil || !sentinelNameRE.MatchString(obj.Name()) {
+			return "", false
+		}
+		if !implementsError(obj.Type()) {
+			return "", false
+		}
+		return obj.Name(), true
+	}
+	exprIsNil := func(e ast.Expr) bool {
+		tv, ok := pkg.Info.Types[e]
+		return ok && tv.IsNil()
+	}
+	name, ok := isSentinel(be.X)
+	if !ok {
+		name, ok = isSentinel(be.Y)
+	}
+	if ok && !exprIsNil(be.X) && !exprIsNil(be.Y) {
+		report(be.Pos(), "sentinel %s compared with %s — use errors.Is, which survives wrapping", name, be.Op)
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose error-typed arguments are
+// formatted with a non-%w verb: the chain breaks and errors.Is against
+// the cause stops working.
+func checkErrorfWrap(pkg *Package, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	format, ok := stringLit(call.Args[0])
+	if !ok {
+		return
+	}
+	verbs, ok := parseVerbs(format)
+	if !ok {
+		return // indexed arguments etc.: too clever to check, bail
+	}
+	args := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if verb == 'w' || verb == '*' {
+			continue
+		}
+		tv, ok := pkg.Info.Types[args[i]]
+		if ok && implementsError(tv.Type) && !tv.IsNil() {
+			report(args[i].Pos(), "error value formatted with %%%c — use %%w so the cause stays unwrappable with errors.Is", verb)
+		}
+	}
+}
+
+// parseVerbs returns one byte per argument fmt.Errorf will consume, in
+// order: the verb character, or '*' for a width/precision consumed by
+// a star. Returns ok=false for indexed arguments (%[n]d).
+func parseVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// flags, width, precision — a '*' in either consumes an arg.
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0.", c) >= 0 || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}
+
+// sentinelName matches an identifier or selector whose final name looks
+// like an exported sentinel (ErrFoo) — the syntactic stand-in for the
+// typed check in test files.
+func sentinelName(e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if sentinelNameRE.MatchString(x.Name) {
+			return x.Name, true
+		}
+	case *ast.SelectorExpr:
+		if sentinelNameRE.MatchString(x.Sel.Name) {
+			return x.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// isNilIdent reports a bare nil literal, syntactically.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

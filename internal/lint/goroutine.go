@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineHygiene demands that every goroutine spawned in the
+// configured packages (the serving layer) can be told to stop: its body
+// — or a same-package function it calls — must receive from a channel
+// (select on ctx.Done()/a stop channel, a direct <-ch, or a
+// range-over-channel loop). A goroutine with no receive anywhere can
+// outlive Shutdown, which is exactly the leak class the server's
+// drain/rehab machinery exists to prevent.
+var GoroutineHygiene = &Analyzer{
+	Name: "goroutine-hygiene",
+	Doc:  "every go statement in the serving layer selects on a ctx/done/stop channel",
+	Run:  runGoroutineHygiene,
+}
+
+func runGoroutineHygiene(m *Module, cfg *Config, report func(token.Pos, string, ...any)) {
+	for _, pkg := range m.Packages {
+		if !matchesAny(cfg.GoroutinePackages, pkg.ImportPath) {
+			continue
+		}
+		// Map the package's functions to their bodies so `go p.rehab(sh)`
+		// can be followed into rehab.
+		decls := map[*types.Func]*ast.FuncDecl{}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				visited := map[*types.Func]bool{}
+				switch fun := ast.Unparen(gs.Call.Fun).(type) {
+				case *ast.FuncLit:
+					if !bodyReceives(pkg, fun.Body, decls, visited) {
+						report(gs.Pos(), "goroutine body never receives from a channel — it cannot be told to stop and can outlive Shutdown")
+					}
+				default:
+					fn := calleeFunc(pkg.Info, gs.Call)
+					if fn == nil {
+						report(gs.Pos(), "goroutine target cannot be resolved statically — spawn a same-package function or an inline func so stop behavior is checkable")
+						return true
+					}
+					fd, ok := decls[fn]
+					if !ok {
+						report(gs.Pos(), "goroutine runs %s, which is outside this package — stop behavior cannot be verified", fn.FullName())
+						return true
+					}
+					if !bodyReceives(pkg, fd.Body, decls, visited) {
+						report(gs.Pos(), "goroutine runs %s, which never receives from a channel — it cannot be told to stop and can outlive Shutdown", fn.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// bodyReceives reports whether the body contains a channel receive —
+// directly, or through a same-package call (followed transitively).
+// Nested go statements are not descended into: a receive in a child
+// goroutine does not make the parent stoppable.
+func bodyReceives(pkg *Package, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl, visited map[*types.Func]bool) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pkg.Info, x)
+			if fn == nil || visited[fn] {
+				return true
+			}
+			if fd, ok := decls[fn]; ok {
+				visited[fn] = true
+				if bodyReceives(pkg, fd.Body, decls, visited) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// MetricName pins the observability contract: every metric registered
+// through internal/metrics carries a stable, literal `bsrngd_*` name
+// that is unique across the module, and labeled metrics declare their
+// label sets as constant literals. Dashboards and the verify harness
+// grep these names; a drifting or duplicated name silently blanks a
+// panel instead of failing a build — unless this analyzer fails it
+// first.
+var MetricName = &Analyzer{
+	Name: "metric-name",
+	Doc:  "registered metric names match ^bsrngd_[a-z0-9_]+$, are unique, and label sets are literals",
+	Run:  runMetricName,
+}
+
+// metricCtors maps Registry constructor names to whether they take a
+// variadic label set after (name, help).
+var metricCtors = map[string]bool{
+	"NewCounter":        false,
+	"NewGauge":          false,
+	"NewGaugeFunc":      false,
+	"NewHistogram":      false,
+	"NewLabeledCounter": true,
+	"NewLabeledGauge":   true,
+}
+
+func runMetricName(m *Module, cfg *Config, report func(token.Pos, string, ...any)) {
+	type site struct {
+		name string
+		pos  token.Pos
+		pkg  string
+	}
+	var sites []site
+
+	for _, pkg := range m.Packages {
+		if pkg.ImportPath == cfg.MetricsPath {
+			continue // the registry's own tests register throwaway names
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != cfg.MetricsPath {
+					return true
+				}
+				labeled, ok := metricCtors[fn.Name()]
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				name, lit := stringLit(call.Args[0])
+				if !lit {
+					report(call.Args[0].Pos(), "metric name passed to %s is not a string literal — names must be grep-able constants", fn.Name())
+					return true
+				}
+				if !cfg.MetricNamePattern.MatchString(name) {
+					report(call.Args[0].Pos(), "metric name %q does not match %s", name, cfg.MetricNamePattern)
+				}
+				sites = append(sites, site{name: name, pos: call.Args[0].Pos(), pkg: pkg.ImportPath})
+				if labeled {
+					for _, arg := range call.Args[2:] {
+						if _, ok := stringLit(arg); !ok {
+							report(arg.Pos(), "label of metric %q is not a string literal — label sets must be constant", name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Duplicate detection across the whole module.
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].name != sites[j].name {
+			return sites[i].name < sites[j].name
+		}
+		return m.Fset.Position(sites[i].pos).Offset < m.Fset.Position(sites[j].pos).Offset
+	})
+	for i := 1; i < len(sites); i++ {
+		if sites[i].name == sites[i-1].name {
+			first := m.Fset.Position(sites[i-1].pos)
+			report(sites[i].pos, "metric name %q is already registered at %s:%d — names must be unique across the module", sites[i].name, first.Filename, first.Line)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+// Package broken fails to type-check; the loader tests assert the
+// error is surfaced rather than swallowed.
+package broken
+
+func Boom() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,28 @@
+// Package atomicmix seeds a mixed atomic/plain field access.
+package atomicmix
+
+import "sync/atomic"
+
+type Counter struct {
+	n    uint64
+	safe uint64
+}
+
+// New initializes via a composite literal — the sanctioned construction
+// pattern, exempt from the rule.
+func New() *Counter {
+	return &Counter{n: 0, safe: 0}
+}
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.AddUint64(&c.safe, 1)
+}
+
+func (c *Counter) Peek() uint64 {
+	return c.n // want `field n is accessed via sync/atomic .* but plainly here`
+}
+
+func (c *Counter) Load() uint64 {
+	return atomic.LoadUint64(&c.safe)
+}

@@ -1,0 +1,33 @@
+// Package errconv seeds error-convention violations.
+package errconv
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBadSeed = errors.New("bad seed")
+
+func Check(err error) bool {
+	return err == ErrBadSeed // want `sentinel ErrBadSeed compared with ==`
+}
+
+func CheckNil(err error) bool {
+	return ErrBadSeed != nil && err == nil
+}
+
+func Wrap(err error) error {
+	return fmt.Errorf("wrapped: %v", err) // want `error value formatted with %v`
+}
+
+func WrapOK(err error) error {
+	return fmt.Errorf("shard %d: %w", 3, err)
+}
+
+func WrapStarred(width int, err error) error {
+	return fmt.Errorf("pad %*d cause %s", width, 7, err) // want `error value formatted with %s`
+}
+
+func Good(err error) bool {
+	return errors.Is(err, ErrBadSeed)
+}

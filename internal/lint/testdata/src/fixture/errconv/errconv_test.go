@@ -1,0 +1,10 @@
+package errconv
+
+import "testing"
+
+func TestSentinel(t *testing.T) {
+	err := Wrap(ErrBadSeed)
+	if err == ErrBadSeed { // want `sentinel ErrBadSeed compared with ==`
+		t.Fatal("identity match survived wrapping")
+	}
+}

@@ -1,0 +1,46 @@
+// Package gohyg seeds goroutine-hygiene violations; the golden test
+// configures it as a goroutine-checked package.
+package gohyg
+
+import "time"
+
+type Worker struct {
+	stop chan struct{}
+	work chan int
+}
+
+func (w *Worker) Start() {
+	go w.loop()
+	go func() { // want `goroutine body never receives from a channel`
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	go leak() // want `goroutine runs leak, which never receives from a channel`
+}
+
+func (w *Worker) Drain() {
+	go w.consume()
+}
+
+func Nap() {
+	go time.Sleep(time.Millisecond) // want `outside this package`
+}
+
+func (w *Worker) loop() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case v := <-w.work:
+			_ = v
+		}
+	}
+}
+
+func (w *Worker) consume() {
+	for range w.work {
+	}
+}
+
+func leak() {}

@@ -1,0 +1,14 @@
+// Package metricnames seeds metric-name violations against the real
+// metrics registry.
+package metricnames
+
+import "repro/internal/metrics"
+
+func Register(reg *metrics.Registry, dynamic string) {
+	reg.NewCounter("bsrngd_good_total", "a well-named counter")
+	reg.NewCounter("bad_name_total", "missing prefix")                            // want `metric name "bad_name_total" does not match`
+	reg.NewGauge("bsrngd_good_total", "duplicate of the counter above")           // want `metric name "bsrngd_good_total" is already registered`
+	reg.NewCounter(dynamic, "runtime-built name")                                 // want `not a string literal`
+	reg.NewLabeledCounter("bsrngd_labeled_total", "labels", "alg", dynamic)       // want `label of metric "bsrngd_labeled_total" is not a string literal`
+	reg.NewLabeledGauge("bsrngd_gauge_per_alg", "constant labels", "alg", "mode") // clean
+}

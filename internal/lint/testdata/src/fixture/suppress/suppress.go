@@ -1,0 +1,28 @@
+// Package suppress exercises the //bsrng:lint-ignore directive: a used
+// suppression (silent), plus the malformed and unused variants, which
+// are findings in their own right.
+package suppress
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrQuiet = errors.New("quiet")
+
+// Quiet's finding is suppressed with a reason — no diagnostic escapes.
+func Quiet(err error) error {
+	//bsrng:lint-ignore error-conventions fixture: the cause is intentionally opaque here
+	return fmt.Errorf("opaque: %v", err)
+}
+
+// want `malformed suppression: missing rule and reason`
+//bsrng:lint-ignore
+
+// want `malformed suppression: unknown rule "nosuchrule"`
+//bsrng:lint-ignore nosuchrule some reason
+
+// want `malformed suppression: missing reason`
+//bsrng:lint-ignore error-conventions
+
+//bsrng:lint-ignore error-conventions nothing on this line needs it // want `unused suppression for rule "error-conventions"`

@@ -374,8 +374,8 @@ func TestAdmissionControlShedsLoad(t *testing.T) {
 	if got := metricValue(t, mbody, "bsrngd_admission_rejected_total"); got != 1 {
 		t.Errorf("admission_rejected_total = %v, want 1", got)
 	}
-	if !strings.Contains(string(mbody), `requests_total{alg="grain",status="429"} 1`) {
-		t.Errorf("shed request not counted in requests_total:\n%s", mbody)
+	if !strings.Contains(string(mbody), `bsrngd_requests_total{alg="grain",status="429"} 1`) {
+		t.Errorf("shed request not counted in bsrngd_requests_total:\n%s", mbody)
 	}
 }
 

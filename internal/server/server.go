@@ -166,16 +166,16 @@ func New(cfg Config) (*Server, error) {
 		reg:   metrics.NewRegistry(),
 		mux:   http.NewServeMux(),
 	}
-	s.bytesServed = s.reg.NewCounter("bytes_served_total",
+	s.bytesServed = s.reg.NewCounter("bsrngd_bytes_served_total",
 		"Random bytes delivered to clients.")
-	s.requests = s.reg.NewLabeledCounter("requests_total",
+	s.requests = s.reg.NewLabeledCounter("bsrngd_requests_total",
 		"Requests to /bytes by algorithm and HTTP status.", "alg", "status")
-	s.checkoutLat = s.reg.NewHistogram("shard_checkout_seconds",
+	s.checkoutLat = s.reg.NewHistogram("bsrngd_shard_checkout_seconds",
 		"Time spent acquiring a stream shard.",
 		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1})
-	s.streamsActive = s.reg.NewGauge("streams_active",
+	s.streamsActive = s.reg.NewGauge("bsrngd_streams_active",
 		"Live core.Stream pools (shards) across all algorithms.")
-	s.shardsBusy = s.reg.NewGauge("shards_busy",
+	s.shardsBusy = s.reg.NewGauge("bsrngd_shards_busy",
 		"Shards currently checked out by requests.")
 	s.healthFailures = s.reg.NewLabeledCounter("bsrngd_health_failures_total",
 		"Segments condemned by the continuous online health tests, by algorithm and test.",
@@ -230,13 +230,13 @@ func New(cfg Config) (*Server, error) {
 		s.pools[alg] = p
 	}
 	s.streamsActive.Set(int64(len(cfg.Algorithms) * cfg.ShardsPerAlg))
-	s.reg.NewGaugeFunc("engine_chunks_produced_total",
+	s.reg.NewGaugeFunc("bsrngd_engine_chunks_produced_total",
 		"Staging chunks produced by stream workers, summed over shards.",
 		func() float64 { return float64(s.poolStats().ChunksProduced) })
-	s.reg.NewGaugeFunc("engine_bytes_delivered_total",
+	s.reg.NewGaugeFunc("bsrngd_engine_bytes_delivered_total",
 		"Bytes delivered by stream Read, summed over shards.",
 		func() float64 { return float64(s.poolStats().BytesDelivered) })
-	s.reg.NewGaugeFunc("engine_recycle_hits_total",
+	s.reg.NewGaugeFunc("bsrngd_engine_recycle_hits_total",
 		"Staging buffers recycled from the free list, summed over shards.",
 		func() float64 { return float64(s.poolStats().RecycleHits) })
 	s.reg.NewGaugeFunc("bsrngd_health_segments_checked_total",
@@ -297,6 +297,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	done := make(chan struct{})
+	//bsrng:lint-ignore goroutine-hygiene WaitGroup-to-channel adapter: Wait cannot select, and the goroutine's lifetime is bounded by the in-flight requests Shutdown is draining
 	go func() {
 		s.inflight.Wait()
 		close(done)

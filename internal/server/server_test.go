@@ -119,11 +119,11 @@ func TestMetricsAfterRequest(t *testing.T) {
 	}
 	out := string(body)
 	for _, want := range []string{
-		"bytes_served_total 4096",
-		`requests_total{alg="trivium",status="200"} 1`,
-		"shard_checkout_seconds_count 1",
-		"streams_active 4", // 4 algorithms × 1 shard
-		"shards_busy 0",
+		"bsrngd_bytes_served_total 4096",
+		`bsrngd_requests_total{alg="trivium",status="200"} 1`,
+		"bsrngd_shard_checkout_seconds_count 1",
+		"bsrngd_streams_active 4", // 4 algorithms × 1 shard
+		"bsrngd_shards_busy 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q:\n%s", want, out)
@@ -131,8 +131,8 @@ func TestMetricsAfterRequest(t *testing.T) {
 	}
 	// Engine-level gauges must be live and non-zero after traffic.
 	for _, name := range []string{
-		"engine_chunks_produced_total",
-		"engine_bytes_delivered_total",
+		"bsrngd_engine_chunks_produced_total",
+		"bsrngd_engine_bytes_delivered_total",
 	} {
 		if strings.Contains(out, name+" 0\n") {
 			t.Errorf("%s still zero after a request:\n%s", name, out)
@@ -161,10 +161,10 @@ func TestBadRequests(t *testing.T) {
 	}
 	// Error statuses are visible in request metrics.
 	_, body, _ := get(t, ts.URL+"/metrics")
-	if !strings.Contains(string(body), `requests_total{alg="invalid",status="400"}`) {
+	if !strings.Contains(string(body), `bsrngd_requests_total{alg="invalid",status="400"}`) {
 		t.Errorf("invalid-alg requests not counted:\n%s", body)
 	}
-	if !strings.Contains(string(body), `requests_total{alg="mickey",status="413"} 1`) {
+	if !strings.Contains(string(body), `bsrngd_requests_total{alg="mickey",status="413"} 1`) {
 		t.Errorf("oversized requests not counted:\n%s", body)
 	}
 }
