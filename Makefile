@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet lint build test race bench-smoke bench fuzz fmt serve cover nofaultinject
+.PHONY: verify fmt-check vet lint build test race bench-smoke bench bench-compare fuzz fmt serve cover nofaultinject
 
 verify: fmt-check vet lint build test race bench-smoke
 	@echo "verify: all checks passed"
@@ -47,6 +47,12 @@ bench-smoke:
 BENCH_MINTIME ?= 1s
 bench:
 	$(GO) run ./cmd/benchcpu -out BENCH_cpu.json -mintime $(BENCH_MINTIME)
+
+# Warn-only throughput drift check: remeasure, then diff against the
+# committed BENCH_cpu.json. Never fails — benchmark runners are noisy —
+# but surfaces per-cell regressions for review (mirrors the CI step).
+bench-compare: bench
+	git show HEAD:BENCH_cpu.json | $(GO) run ./cmd/benchcompare -base - -new BENCH_cpu.json
 
 # A short pass over every native fuzz target (regression corpora under
 # internal/bitslice/testdata/fuzz always run as part of `make test`).

@@ -24,6 +24,12 @@
 //	defer s.Close()
 //	s.Read(buf)
 //
+// Stream's datapath is zero-copy: each worker's engine writes segments
+// straight into the staging chunk it hands to the consumer, so the
+// steady state allocates nothing and each output byte is copied at most
+// once (chunk → your buffer). To skip that last copy too, consume via
+// s.WriteTo(w) or s.NextChunk()/s.Recycle().
+//
 // The repository also contains the paper's full evaluation apparatus: the
 // naive baselines, the cuRAND generator family, an NIST SP 800-22
 // implementation, and the GPU roofline model that regenerates the paper's
@@ -84,7 +90,9 @@ func NewWithLanes(alg Algorithm, seed uint64, lanes int) (*Generator, error) {
 }
 
 // Stream is the multi-core generator: one bitsliced engine per worker,
-// deterministic output for a fixed configuration.
+// deterministic output for a fixed configuration. Consume it with Read
+// (io.Reader), WriteTo (io.WriterTo; copies each staging chunk exactly
+// once, into the writer) or NextChunk/Recycle (zero-copy chunk handoff).
 type Stream = core.Stream
 
 // StreamConfig tunes the Stream (zero values = all CPUs, 64 KiB staging,

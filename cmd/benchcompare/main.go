@@ -1,0 +1,122 @@
+// Command benchcompare diffs two benchcpu reports cell by cell and
+// prints per-cell throughput deltas. It is warn-only by design: CI runs
+// it against the committed BENCH_cpu.json after every bench smoke so
+// reviewers see drift, but a noisy runner never fails the build — the
+// exit status is 0 unless an input cannot be read or parsed.
+//
+// Usage:
+//
+//	benchcompare -base BENCH_cpu.json -new /tmp/bench_new.json [-warn 0.10]
+//
+// -base also accepts "-" to read the baseline from stdin, which lets CI
+// compare against a committed revision without a checkout:
+//
+//	git show HEAD:BENCH_cpu.json | benchcompare -base - -new bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// cell mirrors the benchcpu result schema (unknown fields ignored, so
+// old reports without allocs_per_mib still parse).
+type cell struct {
+	Alg          string  `json:"alg"`
+	Lanes        int     `json:"lanes"`
+	Workers      int     `json:"workers"`
+	BytesPerSec  float64 `json:"bytes_per_sec"`
+	AllocsPerMiB float64 `json:"allocs_per_mib"`
+}
+
+type benchReport struct {
+	NumCPU  int    `json:"num_cpu"`
+	Results []cell `json:"results"`
+}
+
+type key struct {
+	alg            string
+	lanes, workers int
+}
+
+func load(path string) (*benchReport, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var rep benchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func main() {
+	base := flag.String("base", "BENCH_cpu.json", "baseline report path (- for stdin)")
+	next := flag.String("new", "", "new report path (- for stdin)")
+	warnAt := flag.Float64("warn", 0.10, "warn when a cell slows down by more than this fraction")
+	flag.Parse()
+	if *next == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: -new is required")
+		os.Exit(2)
+	}
+	if *base == "-" && *next == "-" {
+		fmt.Fprintln(os.Stderr, "benchcompare: only one input may be stdin")
+		os.Exit(2)
+	}
+
+	b, err := load(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	n, err := load(*next)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+
+	diff(os.Stdout, b, n, *warnAt)
+}
+
+// diff prints the cell-by-cell comparison and returns how many cells
+// regressed past the warn threshold.
+func diff(w io.Writer, b, n *benchReport, warnAt float64) int {
+	baseBy := make(map[key]cell, len(b.Results))
+	for _, c := range b.Results {
+		baseBy[key{c.Alg, c.Lanes, c.Workers}] = c
+	}
+
+	var warned int
+	fmt.Fprintf(w, "%-9s %-6s %-8s %12s %12s %8s\n",
+		"alg", "lanes", "workers", "base MB/s", "new MB/s", "delta")
+	for _, c := range n.Results {
+		old, ok := baseBy[key{c.Alg, c.Lanes, c.Workers}]
+		if !ok {
+			fmt.Fprintf(w, "%-9s %-6d %-8d %12s %12.1f %8s\n",
+				c.Alg, c.Lanes, c.Workers, "(new)", c.BytesPerSec/1e6, "")
+			continue
+		}
+		delta := c.BytesPerSec/old.BytesPerSec - 1
+		mark := ""
+		if delta < -warnAt {
+			mark = "  WARN: slower than baseline"
+			warned++
+		}
+		fmt.Fprintf(w, "%-9s %-6d %-8d %12.1f %12.1f %+7.1f%%%s\n",
+			c.Alg, c.Lanes, c.Workers, old.BytesPerSec/1e6, c.BytesPerSec/1e6, 100*delta, mark)
+	}
+	if warned > 0 {
+		fmt.Fprintf(w, "benchcompare: %d cell(s) slower than baseline by >%.0f%% "+
+			"(warn-only; benchmark runners are noisy)\n", warned, 100*warnAt)
+	}
+	return warned
+}

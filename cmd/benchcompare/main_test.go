@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rep(cells ...cell) *benchReport { return &benchReport{NumCPU: 1, Results: cells} }
+
+func TestDiffWarnsOnRegressionOnly(t *testing.T) {
+	base := rep(
+		cell{Alg: "mickey", Lanes: 64, Workers: 1, BytesPerSec: 100e6},
+		cell{Alg: "grain", Lanes: 64, Workers: 1, BytesPerSec: 200e6},
+	)
+	next := rep(
+		cell{Alg: "mickey", Lanes: 64, Workers: 1, BytesPerSec: 80e6},  // -20%: warn
+		cell{Alg: "grain", Lanes: 64, Workers: 1, BytesPerSec: 195e6},  // -2.5%: within noise
+		cell{Alg: "trivium", Lanes: 64, Workers: 1, BytesPerSec: 50e6}, // no baseline cell
+	)
+	var out bytes.Buffer
+	if warned := diff(&out, base, next, 0.10); warned != 1 {
+		t.Fatalf("warned = %d, want 1\n%s", warned, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "WARN: slower than baseline") {
+		t.Fatalf("missing warn marker:\n%s", s)
+	}
+	if !strings.Contains(s, "(new)") {
+		t.Fatalf("missing (new) marker for unmatched cell:\n%s", s)
+	}
+}
+
+func TestLoadParsesBenchcpuSchema(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "b.json")
+	doc := `{"num_cpu":1,"results":[{"alg":"mickey","lanes":64,"workers":1,` +
+		`"bytes":1,"seconds":1,"bytes_per_sec":42.0}]}`
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Results) != 1 || r.Results[0].BytesPerSec != 42 {
+		t.Fatalf("unexpected parse: %+v", r)
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("load of missing file did not fail")
+	}
+}

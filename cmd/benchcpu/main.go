@@ -11,6 +11,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +30,9 @@ type result struct {
 	Bytes       int64   `json:"bytes"`
 	Seconds     float64 `json:"seconds"`
 	BytesPerSec float64 `json:"bytes_per_sec"`
+	// AllocsPerMiB is heap allocations per MiB delivered during the
+	// measurement window — ~0 pins the allocation-free steady state.
+	AllocsPerMiB float64 `json:"allocs_per_mib"`
 }
 
 // report is the full BENCH_cpu.json document.
@@ -69,9 +73,9 @@ func main() {
 	}
 }
 
-// measure runs the full grid. Each cell reads from a dedicated Stream so
-// engine construction (key schedules, init clocking) is amortized out of
-// the steady-state number; progress goes to log.
+// measure runs the full grid. Each cell streams from a dedicated Stream
+// so engine construction (key schedules, init clocking) is amortized out
+// of the steady-state number; progress goes to log.
 func measure(minTime time.Duration, log io.Writer) (*report, error) {
 	rep := &report{
 		GoVersion:  runtime.Version(),
@@ -84,16 +88,15 @@ func measure(minTime time.Duration, log io.Writer) (*report, error) {
 	if n := runtime.NumCPU(); n > 1 {
 		workerSet = append(workerSet, n)
 	}
-	buf := make([]byte, 4<<20)
 	for _, alg := range core.Algorithms {
 		for _, lanes := range core.SupportedLanes {
 			for _, workers := range workerSet {
-				r, err := measureCell(alg, lanes, workers, minTime, buf)
+				r, err := measureCell(alg, lanes, workers, minTime)
 				if err != nil {
 					return nil, err
 				}
-				fmt.Fprintf(log, "benchcpu: %-8s lanes=%-4d workers=%-3d %8.1f MB/s\n",
-					r.Alg, r.Lanes, r.Workers, r.BytesPerSec/1e6)
+				fmt.Fprintf(log, "benchcpu: %-8s lanes=%-4d workers=%-3d %8.1f MB/s %6.2f allocs/MiB\n",
+					r.Alg, r.Lanes, r.Workers, r.BytesPerSec/1e6, r.AllocsPerMiB)
 				rep.Results = append(rep.Results, r)
 			}
 		}
@@ -101,32 +104,57 @@ func measure(minTime time.Duration, log io.Writer) (*report, error) {
 	return rep, nil
 }
 
-func measureCell(alg core.Algorithm, lanes, workers int, minTime time.Duration, buf []byte) (result, error) {
+// errWindowDone stops Stream.WriteTo once a cell's measurement window
+// has elapsed.
+var errWindowDone = errors.New("benchcpu: measurement window elapsed")
+
+// benchSink counts delivered bytes without copying them and fails the
+// write after the deadline, ending WriteTo. Consuming through WriteTo
+// measures the zero-copy serving path (the same one bsrngd uses for
+// bulk /bytes responses): chunks travel from the engines to the sink
+// without an intermediate consumer buffer.
+type benchSink struct {
+	total    int64
+	deadline time.Time
+}
+
+func (b *benchSink) Write(p []byte) (int, error) {
+	b.total += int64(len(p))
+	if time.Now().After(b.deadline) {
+		return len(p), errWindowDone
+	}
+	return len(p), nil
+}
+
+func measureCell(alg core.Algorithm, lanes, workers int, minTime time.Duration) (result, error) {
 	s, err := core.NewStream(alg, 1, core.StreamConfig{Workers: workers, Lanes: lanes})
 	if err != nil {
 		return result{}, err
 	}
 	defer s.Close()
-	// Warm up: fill the staging pipeline before the clock starts.
-	if _, err := s.Read(buf); err != nil {
+	// Warm up: fill the staging pipeline and retire the lazily-allocated
+	// first chunks before the clock (and the allocation meter) starts.
+	warm := &benchSink{deadline: time.Now().Add(minTime / 10)}
+	if _, err := s.WriteTo(warm); err != nil && !errors.Is(err, errWindowDone) {
 		return result{}, err
 	}
-	var total int64
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	sink := &benchSink{deadline: time.Now().Add(minTime)}
 	start := time.Now()
-	for time.Since(start) < minTime {
-		n, err := s.Read(buf)
-		if err != nil {
-			return result{}, err
-		}
-		total += int64(n)
+	if _, err := s.WriteTo(sink); err != nil && !errors.Is(err, errWindowDone) {
+		return result{}, err
 	}
 	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	allocs := float64(m1.Mallocs - m0.Mallocs)
 	return result{
-		Alg:         alg.String(),
-		Lanes:       lanes,
-		Workers:     workers,
-		Bytes:       total,
-		Seconds:     elapsed,
-		BytesPerSec: float64(total) / elapsed,
+		Alg:          alg.String(),
+		Lanes:        lanes,
+		Workers:      workers,
+		Bytes:        sink.total,
+		Seconds:      elapsed,
+		BytesPerSec:  float64(sink.total) / elapsed,
+		AllocsPerMiB: allocs / (float64(sink.total) / (1 << 20)),
 	}, nil
 }

@@ -33,6 +33,10 @@ func TestMeasureGrid(t *testing.T) {
 			t.Errorf("%s lanes=%d workers=%d: non-positive measurement %+v",
 				r.Alg, r.Lanes, r.Workers, r)
 		}
+		if r.AllocsPerMiB < 0 {
+			t.Errorf("%s lanes=%d workers=%d: negative allocs_per_mib %+v",
+				r.Alg, r.Lanes, r.Workers, r)
+		}
 		key := [3]interface{}{r.Alg, r.Lanes, r.Workers}
 		if seen[key] {
 			t.Errorf("duplicate cell %v", key)

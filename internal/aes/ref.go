@@ -59,6 +59,29 @@ func (c *Cipher) expandKey(key []byte) {
 	}
 }
 
+// expandKey128 writes the 11 AES-128 round keys of key into rk without
+// allocating — the rekey hot path of the bitsliced engines runs the key
+// schedule once per lane per segment pass, so this must stay off the
+// heap. The output is byte-identical to NewCipher(key).rk.
+func expandKey128(key []byte, rk *[11][16]byte) {
+	var w [44]uint32
+	for i := 0; i < 4; i++ {
+		w[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	for i := 4; i < 44; i++ {
+		t := w[i-1]
+		if i%4 == 0 {
+			t = subWord(rotWord(t)) ^ uint32(rcon[i/4-1])<<24
+		}
+		w[i] = w[i-4] ^ t
+	}
+	for r := range rk {
+		for j := 0; j < 4; j++ {
+			binary.BigEndian.PutUint32(rk[r][4*j:], w[4*r+j])
+		}
+	}
+}
+
 func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
 
 func subWord(w uint32) uint32 {

@@ -17,6 +17,10 @@ import (
 type SlicedVec[V bitslice.Vec] struct {
 	rk    [][128]V // 11 plane-form round keys
 	lanes int
+
+	// Per-round per-lane round-key words, reused across Reseed calls so
+	// the segment-rekey hot path never allocates.
+	klo, khi [][]uint64
 }
 
 // Sliced is the native 64-lane engine (the uint64 datapath).
@@ -34,7 +38,16 @@ func NewSlicedVec[V bitslice.Vec](keys [][]byte) (*SlicedVec[V], error) {
 	if lanes == 0 || lanes > bitslice.VecLanes[V]() {
 		return nil, fmt.Errorf("aes: lane count %d out of range [1,%d]", lanes, bitslice.VecLanes[V]())
 	}
-	s := &SlicedVec[V]{rk: make([][128]V, 11), lanes: lanes}
+	s := &SlicedVec[V]{
+		rk:    make([][128]V, 11),
+		lanes: lanes,
+		klo:   make([][]uint64, 11),
+		khi:   make([][]uint64, 11),
+	}
+	for r := 0; r <= 10; r++ {
+		s.klo[r] = make([]uint64, lanes)
+		s.khi[r] = make([]uint64, lanes)
+	}
 	if err := s.Reseed(keys); err != nil {
 		return nil, err
 	}
@@ -42,33 +55,26 @@ func NewSlicedVec[V bitslice.Vec](keys [][]byte) (*SlicedVec[V], error) {
 }
 
 // Reseed replaces every lane's key, re-running the key schedule in place.
-// The lane count must match the one the engine was built with.
+// The lane count must match the one the engine was built with. Reseed is
+// allocation-free: the key material lands in scratch owned by the engine.
 func (s *SlicedVec[V]) Reseed(keys [][]byte) error {
 	if len(keys) != s.lanes {
 		return fmt.Errorf("aes: %d keys for %d lanes", len(keys), s.lanes)
 	}
-	los := make([][]uint64, 11) // per round: per-lane low words
-	his := make([][]uint64, 11)
-	for r := range los {
-		los[r] = make([]uint64, s.lanes)
-		his[r] = make([]uint64, s.lanes)
-	}
+	var rk [11][16]byte
 	for l, key := range keys {
 		if len(key) != 16 {
 			return fmt.Errorf("aes: lane %d key must be 16 bytes", l)
 		}
-		c, err := NewCipher(key)
-		if err != nil {
-			return err
-		}
+		expandKey128(key, &rk)
 		for r := 0; r <= 10; r++ {
-			los[r][l] = binary.LittleEndian.Uint64(c.rk[r][0:8])
-			his[r][l] = binary.LittleEndian.Uint64(c.rk[r][8:16])
+			s.klo[r][l] = binary.LittleEndian.Uint64(rk[r][0:8])
+			s.khi[r][l] = binary.LittleEndian.Uint64(rk[r][8:16])
 		}
 	}
 	for r := 0; r <= 10; r++ {
-		lo := bitslice.PackWordsVec[V](los[r])
-		hi := bitslice.PackWordsVec[V](his[r])
+		lo := bitslice.PackWordsVec[V](s.klo[r])
+		hi := bitslice.PackWordsVec[V](s.khi[r])
 		copy(s.rk[r][0:64], lo[:])
 		copy(s.rk[r][64:128], hi[:])
 	}
@@ -192,6 +198,10 @@ type SlicedCTRVec[V bitslice.Vec] struct {
 	aes    *SlicedVec[V]
 	nonces []uint64 // per-lane nonce, little-endian image of the 8 nonce bytes
 	ctrs   []uint64 // per-lane counter value (encoded big-endian in the block)
+
+	// Per-batch scratch words, owned by the generator so the per-block
+	// hot path (NextBatch/Keystream) never allocates.
+	los, his []uint64
 }
 
 // SlicedCTR is the native 64-lane CTR generator.
@@ -213,7 +223,13 @@ func NewSlicedCTRVec[V bitslice.Vec](keys [][]byte, nonces [][]byte) (*SlicedCTR
 	if err != nil {
 		return nil, err
 	}
-	g := &SlicedCTRVec[V]{aes: a, nonces: make([]uint64, a.lanes), ctrs: make([]uint64, a.lanes)}
+	g := &SlicedCTRVec[V]{
+		aes:    a,
+		nonces: make([]uint64, a.lanes),
+		ctrs:   make([]uint64, a.lanes),
+		los:    make([]uint64, a.lanes),
+		his:    make([]uint64, a.lanes),
+	}
 	if err := g.loadNonces(nonces); err != nil {
 		return nil, err
 	}
@@ -251,6 +267,27 @@ func (g *SlicedCTRVec[V]) Reseed(keys [][]byte, nonces [][]byte) error {
 // Lanes returns the number of active lanes.
 func (g *SlicedCTRVec[V]) Lanes() int { return g.aes.lanes }
 
+// nextBlockPlanes encrypts one nonce‖counter block per lane, leaving the
+// lane output words in g.los/g.his, and advances every lane counter.
+func (g *SlicedCTRVec[V]) nextBlockPlanes() {
+	lanes := g.aes.lanes
+	for l := 0; l < lanes; l++ {
+		g.los[l] = g.nonces[l]
+		// Block bytes 8..15 hold the counter big-endian; the plane packing
+		// reads them little-endian, hence the byte reversal.
+		g.his[l] = bits.ReverseBytes64(g.ctrs[l])
+		g.ctrs[l]++
+	}
+	var st [128]V
+	lo := bitslice.PackWordsVec[V](g.los)
+	hi := bitslice.PackWordsVec[V](g.his)
+	copy(st[0:64], lo[:])
+	copy(st[64:128], hi[:])
+	g.aes.EncryptBlocks(&st)
+	bitslice.UnpackWordsVecInto(g.los, st[0:64], lanes)
+	bitslice.UnpackWordsVecInto(g.his, st[64:128], lanes)
+}
+
 // NextBatch writes lanes×16 bytes into dst (lane L's block at offset
 // 16·L, identical bytes to lane L's scalar CTR stream) and advances every
 // lane counter. len(dst) must be at least Lanes()×16.
@@ -259,28 +296,40 @@ func (g *SlicedCTRVec[V]) NextBatch(dst []byte) {
 	if len(dst) < lanes*BlockSize {
 		panic("aes: batch buffer too small")
 	}
-	los := make([]uint64, lanes)
-	his := make([]uint64, lanes)
+	g.nextBlockPlanes()
 	for l := 0; l < lanes; l++ {
-		los[l] = g.nonces[l]
-		// Block bytes 8..15 hold the counter big-endian; the plane packing
-		// reads them little-endian, hence the byte reversal.
-		his[l] = bits.ReverseBytes64(g.ctrs[l])
-		g.ctrs[l]++
+		binary.LittleEndian.PutUint64(dst[16*l:], g.los[l])
+		binary.LittleEndian.PutUint64(dst[16*l+8:], g.his[l])
 	}
-	var st [128]V
-	lo := bitslice.PackWordsVec[V](los)
-	hi := bitslice.PackWordsVec[V](his)
-	copy(st[0:64], lo[:])
-	copy(st[64:128], hi[:])
-	g.aes.EncryptBlocks(&st)
-	var loO, hiO [64]V
-	copy(loO[:], st[0:64])
-	copy(hiO[:], st[64:128])
-	outLo := bitslice.UnpackWordsVec(&loO, lanes)
-	outHi := bitslice.UnpackWordsVec(&hiO, lanes)
-	for l := 0; l < lanes; l++ {
-		binary.LittleEndian.PutUint64(dst[16*l:], outLo[l])
-		binary.LittleEndian.PutUint64(dst[16*l+8:], outHi[l])
+}
+
+// Keystream fills one equal-length buffer per lane with that lane's CTR
+// keystream — the same bytes NextBatch would deliver, written straight
+// into the per-lane destinations with no intermediate batch buffer.
+// len(bufs) must equal Lanes() and every buffer length must be the same
+// multiple of BlockSize. The fill is allocation-free.
+func (g *SlicedCTRVec[V]) Keystream(bufs [][]byte) error {
+	if len(bufs) != g.aes.lanes {
+		return fmt.Errorf("aes: %d buffers for %d lanes", len(bufs), g.aes.lanes)
 	}
+	if len(bufs) == 0 {
+		return nil
+	}
+	n := len(bufs[0])
+	for _, b := range bufs {
+		if len(b) != n {
+			return fmt.Errorf("aes: ragged keystream buffers")
+		}
+	}
+	if n%BlockSize != 0 {
+		return fmt.Errorf("aes: buffer length must be a multiple of %d", BlockSize)
+	}
+	for off := 0; off < n; off += BlockSize {
+		g.nextBlockPlanes()
+		for l, b := range bufs {
+			binary.LittleEndian.PutUint64(b[off:off+8], g.los[l])
+			binary.LittleEndian.PutUint64(b[off+8:off+16], g.his[l])
+		}
+	}
+	return nil
 }

@@ -168,6 +168,20 @@ func UnpackWordsVec[V Vec](planes *[64]V, lanes int) []uint64 {
 		panic("bitslice: lane count out of range")
 	}
 	out := make([]uint64, lanes)
+	UnpackWordsVecInto(out, planes[:], lanes)
+	return out
+}
+
+// UnpackWordsVecInto is the allocation-free form of UnpackWordsVec: it
+// assembles one uint64 per lane from the first 64 planes into dst. dst
+// must hold at least lanes words and planes at least 64 planes.
+func UnpackWordsVecInto[V Vec](dst []uint64, planes []V, lanes int) {
+	if lanes < 0 || lanes > VecLanes[V]() {
+		panic("bitslice: lane count out of range")
+	}
+	if len(dst) < lanes || len(planes) < 64 {
+		panic("bitslice: unpack buffers too short")
+	}
 	var t [64]uint64
 	var v V
 	for k := 0; k < len(v); k++ {
@@ -183,7 +197,6 @@ func UnpackWordsVec[V Vec](planes *[64]V, lanes int) []uint64 {
 		if hi > lanes {
 			hi = lanes
 		}
-		copy(out[lo:hi], t[:hi-lo])
+		copy(dst[lo:hi], t[:hi-lo])
 	}
-	return out
 }

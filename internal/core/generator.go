@@ -105,6 +105,12 @@ type engine interface {
 	blockBytes() int
 	// nextBlock writes exactly blockBytes() bytes.
 	nextBlock(dst []byte)
+	// nextBlocks writes len(dst) bytes — a multiple of blockBytes() —
+	// letting the engine place whole lock-step passes directly into dst
+	// (the zero-copy fast path). check, when non-nil, runs on every
+	// block right after it lands in dst; it may call reseed and
+	// nextBlock reentrantly to condemn and regenerate that block.
+	nextBlocks(dst []byte, check func(seg []byte))
 	// reseed condemns the block most recently emitted by nextBlock: the
 	// engine rekeys itself with fresh material (a bumped reseed epoch)
 	// and the next nextBlock call regenerates that block's slot. Used
@@ -116,48 +122,110 @@ type engine interface {
 // lock-step pass fills `lanes` segment buffers (lane l = segment base+l),
 // nextBlock hands them out in order, and an exhausted pass rekeys the
 // cipher for the next `lanes` segment indices via the rekey hook.
+//
+// The pass destination is chosen per fill: nextBlocks aims as many lane
+// buffers as fit directly at the caller's destination (the cipher then
+// writes those segments exactly once, into their final resting place)
+// and parks only the overhang lanes in the engine's private buffers for
+// later copy-out. The private buffers also carry every health-reseed
+// regeneration — see reseed.
 type segmented struct {
-	lanes int
-	bufs  [][]byte // lanes × SegmentBytes, one backing array
-	emit  int      // next buffer to hand out
-	base  uint64   // absolute segment index of bufs[0]
-	epoch uint64   // reseed generation; 0 = canonical stream
-	rekey func(base, epoch uint64) error
-	fill  func(bufs [][]byte) error
+	lanes  int
+	priv   [][]byte // lanes × SegmentBytes private buffers, one backing array
+	cur    [][]byte // current pass destination per lane: priv[l] or a dst subslice
+	emit   int      // next segment slot to hand out
+	filled bool     // cur[emit..lanes-1] hold generated segments
+	base   uint64   // absolute segment index of the current pass's slot 0
+	epoch  uint64   // reseed generation; 0 = canonical stream
+	rekey  func(base, epoch uint64) error
+	fill   func(bufs [][]byte) error
 }
 
 func newSegmented(lanes int, rekey func(base, epoch uint64) error, fill func([][]byte) error) *segmented {
 	e := &segmented{lanes: lanes, rekey: rekey, fill: fill}
 	backing := make([]byte, lanes*SegmentBytes)
-	e.bufs = make([][]byte, lanes)
-	for l := range e.bufs {
-		e.bufs[l] = backing[l*SegmentBytes : (l+1)*SegmentBytes]
+	e.priv = make([][]byte, lanes)
+	e.cur = make([][]byte, lanes)
+	for l := range e.priv {
+		e.priv[l] = backing[l*SegmentBytes : (l+1)*SegmentBytes]
 	}
-	e.mustFill()
+	// The engine arrives keyed for pass 0 (base 0, epoch 0); the pass is
+	// generated lazily on the first emit so it can land directly in the
+	// first caller's destination.
 	return e
 }
 
-// mustFill runs one lock-step keystream pass. The hooks only fail on
-// malformed key/IV material, which the constructor has already validated.
-func (e *segmented) mustFill() {
-	if err := e.fill(e.bufs); err != nil {
+// fillPass generates the current pass. Lanes whose segment slots land
+// inside dst are aimed straight at it — the cipher writes them in place
+// — and the rest go to the private buffers. dst must be segment-aligned
+// and is nil on the nextBlock (copy-out) path. Only called with emit==0:
+// a pass is always generated from its first slot.
+func (e *segmented) fillPass(dst []byte) {
+	direct := len(dst) / SegmentBytes
+	if direct > e.lanes {
+		direct = e.lanes
+	}
+	for l := 0; l < direct; l++ {
+		e.cur[l] = dst[l*SegmentBytes : (l+1)*SegmentBytes]
+	}
+	copy(e.cur[direct:], e.priv[direct:])
+	if err := e.fill(e.cur); err != nil {
 		panic("core: segment fill failed: " + err.Error())
 	}
+	e.filled = true
+}
+
+// advancePass rekeys the cipher for the next `lanes` segment indices.
+func (e *segmented) advancePass() {
+	e.base += uint64(e.lanes)
+	if err := e.rekey(e.base, e.epoch); err != nil {
+		panic("core: segment rekey failed: " + err.Error())
+	}
+	e.emit = 0
+	e.filled = false
 }
 
 func (e *segmented) blockBytes() int { return SegmentBytes }
 
 func (e *segmented) nextBlock(dst []byte) {
 	if e.emit == e.lanes {
-		e.base += uint64(e.lanes)
-		if err := e.rekey(e.base, e.epoch); err != nil {
-			panic("core: segment rekey failed: " + err.Error())
-		}
-		e.mustFill()
-		e.emit = 0
+		e.advancePass()
 	}
-	copy(dst, e.bufs[e.emit])
+	if !e.filled {
+		e.fillPass(nil)
+	}
+	if src := e.cur[e.emit]; &src[0] != &dst[0] {
+		copy(dst, src)
+	}
 	e.emit++
+}
+
+func (e *segmented) nextBlocks(dst []byte, check func(seg []byte)) {
+	if len(dst)%SegmentBytes != 0 {
+		panic("core: nextBlocks destination not segment-aligned")
+	}
+	for len(dst) > 0 {
+		if e.emit == e.lanes {
+			e.advancePass()
+		}
+		if !e.filled {
+			e.fillPass(dst)
+		}
+		for e.emit < e.lanes && len(dst) > 0 {
+			seg := dst[:SegmentBytes]
+			// cur[emit] either aliases seg (direct fill) or holds a
+			// parked segment in the private buffers; re-read it every
+			// iteration because check may reseed mid-pass.
+			if src := e.cur[e.emit]; &src[0] != &seg[0] {
+				copy(seg, src)
+			}
+			e.emit++
+			dst = dst[SegmentBytes:]
+			if check != nil {
+				check(seg)
+			}
+		}
+	}
 }
 
 // reseed discards the current lock-step pass under a bumped epoch and
@@ -165,15 +233,25 @@ func (e *segmented) nextBlock(dst []byte) {
 // (and every later one from this engine) is regenerated from fresh,
 // unrelated key/IV material. The canonical epoch-0 stream is untouched
 // for engines whose segments never fail a health check.
+//
+// The regeneration always lands in the private buffers, never in a
+// caller's destination: earlier slots of a directly-filled pass have
+// already been delivered (possibly into the same destination buffer)
+// and must keep their bytes, so the refreshed pass is parked privately
+// and copied out slot by slot from the condemned one on.
 func (e *segmented) reseed() {
 	e.epoch++
 	if e.emit > 0 {
 		e.emit--
 	}
+	copy(e.cur, e.priv)
 	if err := e.rekey(e.base, e.epoch); err != nil {
 		panic("core: segment rekey failed: " + err.Error())
 	}
-	e.mustFill()
+	if err := e.fill(e.cur); err != nil {
+		panic("core: segment fill failed: " + err.Error())
+	}
+	e.filled = true
 }
 
 // newEngine builds a fully-seeded engine for one (seed, domain) pair at
@@ -195,58 +273,54 @@ func newEngine(alg Algorithm, seed, domain uint64, lanes int) (engine, error) {
 }
 
 func newEngineWidth[V bitslice.Vec](alg Algorithm, seed, domain uint64, lanes int) (engine, error) {
+	// Each engine owns one laneMaterial scratch: every rekey at a segment
+	// pass boundary rederives key/IV material in place, so the steady
+	// state allocates nothing. The cipher Reseed implementations copy the
+	// material into their own state and never retain the slices.
 	switch alg {
 	case MICKEY:
-		keys, ivs := segmentMaterial(seed, domain, 0, 0, lanes, mickey.KeySize, 10)
-		m, err := mickey.NewSlicedVec[V](keys, ivs, mickey.MaxIVBits)
+		mat := newLaneMaterial(lanes, mickey.KeySize, 10)
+		mat.derive(seed, domain, 0, 0)
+		m, err := mickey.NewSlicedVec[V](mat.keys, mat.ivs, mickey.MaxIVBits)
 		if err != nil {
 			return nil, err
 		}
 		return newSegmented(lanes, func(base, epoch uint64) error {
-			keys, ivs := segmentMaterial(seed, domain, base, epoch, lanes, mickey.KeySize, 10)
-			return m.Reseed(keys, ivs, mickey.MaxIVBits)
+			mat.derive(seed, domain, base, epoch)
+			return m.Reseed(mat.keys, mat.ivs, mickey.MaxIVBits)
 		}, m.Keystream), nil
 	case GRAIN:
-		keys, ivs := segmentMaterial(seed, domain, 0, 0, lanes, grain.KeySize, grain.IVSize)
-		g, err := grain.NewSlicedVec[V](keys, ivs)
+		mat := newLaneMaterial(lanes, grain.KeySize, grain.IVSize)
+		mat.derive(seed, domain, 0, 0)
+		g, err := grain.NewSlicedVec[V](mat.keys, mat.ivs)
 		if err != nil {
 			return nil, err
 		}
 		return newSegmented(lanes, func(base, epoch uint64) error {
-			keys, ivs := segmentMaterial(seed, domain, base, epoch, lanes, grain.KeySize, grain.IVSize)
-			return g.Reseed(keys, ivs)
+			mat.derive(seed, domain, base, epoch)
+			return g.Reseed(mat.keys, mat.ivs)
 		}, g.Keystream), nil
 	case AESCTR:
-		keys, nonces := segmentMaterial(seed, domain, 0, 0, lanes, 16, 8)
-		g, err := aes.NewSlicedCTRVec[V](keys, nonces)
+		mat := newLaneMaterial(lanes, 16, 8)
+		mat.derive(seed, domain, 0, 0)
+		g, err := aes.NewSlicedCTRVec[V](mat.keys, mat.ivs)
 		if err != nil {
 			return nil, err
 		}
-		scratch := make([]byte, lanes*aes.BlockSize)
-		fill := func(bufs [][]byte) error {
-			// NextBatch emits one block per lane, lane-interleaved; scatter
-			// each lane's block into its segment buffer.
-			for off := 0; off < SegmentBytes; off += aes.BlockSize {
-				g.NextBatch(scratch)
-				for l := range bufs {
-					copy(bufs[l][off:off+aes.BlockSize], scratch[aes.BlockSize*l:])
-				}
-			}
-			return nil
-		}
 		return newSegmented(lanes, func(base, epoch uint64) error {
-			keys, nonces := segmentMaterial(seed, domain, base, epoch, lanes, 16, 8)
-			return g.Reseed(keys, nonces)
-		}, fill), nil
+			mat.derive(seed, domain, base, epoch)
+			return g.Reseed(mat.keys, mat.ivs)
+		}, g.Keystream), nil
 	case TRIVIUM:
-		keys, ivs := segmentMaterial(seed, domain, 0, 0, lanes, trivium.KeySize, trivium.IVSize)
-		t, err := trivium.NewSlicedVec[V](keys, ivs)
+		mat := newLaneMaterial(lanes, trivium.KeySize, trivium.IVSize)
+		mat.derive(seed, domain, 0, 0)
+		t, err := trivium.NewSlicedVec[V](mat.keys, mat.ivs)
 		if err != nil {
 			return nil, err
 		}
 		return newSegmented(lanes, func(base, epoch uint64) error {
-			keys, ivs := segmentMaterial(seed, domain, base, epoch, lanes, trivium.KeySize, trivium.IVSize)
-			return t.Reseed(keys, ivs)
+			mat.derive(seed, domain, base, epoch)
+			return t.Reseed(mat.keys, mat.ivs)
 		}, t.Keystream), nil
 	}
 	return nil, fmt.Errorf("core: unknown algorithm %v", alg)
@@ -290,17 +364,23 @@ func (g *Generator) Algorithm() Algorithm { return g.alg }
 // Lanes reports the generator's datapath width.
 func (g *Generator) Lanes() int { return g.lanes }
 
-// Read fills p with pseudo-random bytes; it never fails.
+// Read fills p with pseudo-random bytes; it never fails. Whole segments
+// are generated directly into p — only a sub-segment head or tail passes
+// through the generator's one-block buffer.
 func (g *Generator) Read(p []byte) (int, error) {
 	n := len(p)
-	for len(p) > 0 {
-		if g.pos == len(g.buf) {
-			g.eng.nextBlock(g.buf)
-			g.pos = 0
-		}
+	if g.pos < len(g.buf) {
 		k := copy(p, g.buf[g.pos:])
 		g.pos += k
 		p = p[k:]
+	}
+	if aligned := len(p) - len(p)%len(g.buf); aligned > 0 {
+		g.eng.nextBlocks(p[:aligned], nil)
+		p = p[aligned:]
+	}
+	if len(p) > 0 {
+		g.eng.nextBlock(g.buf)
+		g.pos = copy(p, g.buf)
 	}
 	return n, nil
 }

@@ -21,16 +21,15 @@ func (s *splitMix64) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// expandBytes derives n pseudo-random bytes from the expander.
-func (s *splitMix64) bytes(n int) []byte {
-	out := make([]byte, n)
-	for i := 0; i < n; i += 8 {
+// fill derives len(dst) pseudo-random bytes from the expander without
+// allocating.
+func (s *splitMix64) fill(dst []byte) {
+	for i := 0; i < len(dst); i += 8 {
 		v := s.next()
-		for j := 0; j < 8 && i+j < n; j++ {
-			out[i+j] = byte(v >> uint(8*j))
+		for j := 0; j < 8 && i+j < len(dst); j++ {
+			dst[i+j] = byte(v >> uint(8*j))
 		}
 	}
-	return out
 }
 
 // segmentMaterial derives key and IV byte strings for the `lanes`
@@ -49,14 +48,47 @@ func (s *splitMix64) bytes(n int) []byte {
 // deterministic engine fault would otherwise reproduce the same bad
 // bytes forever).
 func segmentMaterial(seed, domain, base, epoch uint64, lanes, keyLen, ivLen int) (keys, ivs [][]byte) {
-	keys = make([][]byte, lanes)
-	ivs = make([][]byte, lanes)
+	m := newLaneMaterial(lanes, keyLen, ivLen)
+	m.derive(seed, domain, base, epoch)
+	return m.keys, m.ivs
+}
+
+// laneMaterial is the reusable key/IV scratch of one engine: a single
+// flat backing array resliced into per-lane key and IV strings, so the
+// lock-step rekey at every segment-pass boundary derives fresh material
+// with zero allocations. Engines copy the material into their own state
+// during Reseed and never retain the slices, which is what makes the
+// reuse across rekeys safe.
+type laneMaterial struct {
+	keys, ivs     [][]byte
+	keyLen, ivLen int
+}
+
+func newLaneMaterial(lanes, keyLen, ivLen int) *laneMaterial {
+	m := &laneMaterial{
+		keys:   make([][]byte, lanes),
+		ivs:    make([][]byte, lanes),
+		keyLen: keyLen,
+		ivLen:  ivLen,
+	}
+	backing := make([]byte, lanes*(keyLen+ivLen))
 	for l := 0; l < lanes; l++ {
+		o := l * (keyLen + ivLen)
+		m.keys[l] = backing[o : o+keyLen]
+		m.ivs[l] = backing[o+keyLen : o+keyLen+ivLen]
+	}
+	return m
+}
+
+// derive overwrites the scratch with the material of segments
+// base..base+lanes-1 — the same bytes segmentMaterial returns for the
+// same arguments.
+func (m *laneMaterial) derive(seed, domain, base, epoch uint64) {
+	for l := range m.keys {
 		sm := splitMix64{s: seed ^ 0xA5A5A5A55A5A5A5A*domain ^ 0xD1342543DE82EF95*(base+uint64(l)) ^ 0x8CB92BA72F3D8DD7*epoch}
 		// One warm-up draw decorrelates small seed/domain/segment tuples.
 		sm.next()
-		keys[l] = sm.bytes(keyLen)
-		ivs[l] = sm.bytes(ivLen)
+		sm.fill(m.keys[l])
+		sm.fill(m.ivs[l])
 	}
-	return keys, ivs
 }

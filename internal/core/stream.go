@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -167,6 +168,10 @@ func NewStream(alg Algorithm, seed uint64, cfg StreamConfig) (*Stream, error) {
 }
 
 // run is one worker: generate into a staging buffer, deliver, repeat.
+// The engine writes segments straight into the staging chunk (nextBlocks
+// aims the cipher's lane buffers at it), so in steady state each output
+// byte is produced in place and copied at most once more, by the
+// consumer.
 func (s *Stream) run(w int, eng engine) {
 	defer s.wg.Done()
 	blk := eng.blockBytes()
@@ -175,12 +180,17 @@ func (s *Stream) run(w int, eng engine) {
 	if chunkLen == 0 {
 		chunkLen = blk
 	}
+	// One check closure per worker, hoisted so the hot loop allocates
+	// nothing.
+	var check func(seg []byte)
+	if s.health != nil {
+		check = func(seg []byte) { s.checkSegment(eng, seg) }
+	}
 	for {
 		var buf []byte
 		select {
 		case buf = <-s.free:
 		default:
-			buf = nil
 		}
 		if cap(buf) < chunkLen {
 			buf = make([]byte, chunkLen)
@@ -188,13 +198,7 @@ func (s *Stream) run(w int, eng engine) {
 			s.recycleHits.Add(1)
 		}
 		buf = buf[:chunkLen]
-		for off := 0; off < chunkLen; off += blk {
-			seg := buf[off : off+blk]
-			eng.nextBlock(seg)
-			if s.health != nil {
-				s.checkSegment(eng, seg)
-			}
-		}
+		eng.nextBlocks(buf, check)
 		// Counted at generation time, before delivery, so a consumer
 		// that has received a chunk always observes it in Stats.
 		s.chunksProduced.Add(1)
@@ -245,21 +249,10 @@ func (s *Stream) Read(p []byte) (int, error) {
 	n := len(p)
 	for len(p) > 0 {
 		if s.pos == len(s.cur) {
-			if s.cur != nil {
-				select {
-				case s.free <- s.cur:
-				default:
-				}
-				s.cur = nil
-			}
-			select {
-			case s.cur = <-s.chunks[s.next]:
-			case <-s.stop:
+			if err := s.advance(); err != nil {
 				s.bytesDelivered.Add(uint64(n - len(p)))
-				return n - len(p), ErrClosed
+				return n - len(p), err
 			}
-			s.next = (s.next + 1) % s.workers
-			s.pos = 0
 		}
 		k := copy(p, s.cur[s.pos:])
 		s.pos += k
@@ -267,6 +260,103 @@ func (s *Stream) Read(p []byte) (int, error) {
 	}
 	s.bytesDelivered.Add(uint64(n))
 	return n, nil
+}
+
+// advance recycles the consumed chunk and receives the next one in the
+// fixed worker-round-robin order. It returns ErrClosed once Close has
+// been observed.
+func (s *Stream) advance() error {
+	if s.cur != nil {
+		select {
+		case s.free <- s.cur:
+		default:
+		}
+		s.cur = nil
+	}
+	select {
+	case s.cur = <-s.chunks[s.next]:
+	case <-s.stop:
+		return ErrClosed
+	}
+	s.next = (s.next + 1) % s.workers
+	s.pos = 0
+	return nil
+}
+
+// WriteTo streams to w until w returns an error or the Stream is closed,
+// copying each staging chunk exactly once (straight from the chunk the
+// engine filled into the writer). The stream is unbounded, so WriteTo
+// only returns on error: wrap w so it fails after the wanted byte count
+// (bsrngd serves bulk /bytes responses this way), or Close the stream.
+// A short write advances the stream by only the bytes actually written —
+// the unread remainder is delivered by the next Read/WriteTo/NextChunk —
+// and, per the io.Writer contract, reports io.ErrShortWrite if w gave no
+// error. WriteTo shares the consumer cursor with Read/NextChunk: one
+// consuming goroutine at a time, Close may race.
+func (s *Stream) WriteTo(w io.Writer) (int64, error) {
+	select {
+	case <-s.stop:
+		return 0, ErrClosed
+	default:
+	}
+	var n int64
+	for {
+		if s.pos == len(s.cur) {
+			if err := s.advance(); err != nil {
+				return n, err
+			}
+		}
+		k, err := w.Write(s.cur[s.pos:])
+		if k > 0 {
+			s.pos += k
+			n += int64(k)
+			s.bytesDelivered.Add(uint64(k))
+		}
+		if err != nil {
+			return n, err
+		}
+		if s.pos != len(s.cur) {
+			return n, io.ErrShortWrite
+		}
+	}
+}
+
+// NextChunk hands out the next span of the stream without copying: the
+// returned slice is the staging chunk the engine filled (or its unread
+// remainder after a partial Read/WriteTo). It stays valid until the next
+// consuming call (Read, WriteTo, NextChunk) or Recycle, whichever comes
+// first — consume it, then let the stream reuse the buffer. Shares the
+// consumer cursor with Read/WriteTo: one consuming goroutine at a time,
+// Close may race (NextChunk then returns ErrClosed).
+func (s *Stream) NextChunk() ([]byte, error) {
+	select {
+	case <-s.stop:
+		return nil, ErrClosed
+	default:
+	}
+	if s.pos == len(s.cur) {
+		if err := s.advance(); err != nil {
+			return nil, err
+		}
+	}
+	c := s.cur[s.pos:]
+	s.pos = len(s.cur)
+	s.bytesDelivered.Add(uint64(len(c)))
+	return c, nil
+}
+
+// Recycle returns the chunk handed out by NextChunk to the stream's
+// free list immediately, instead of waiting for the next consuming call.
+// It is a no-op if there is nothing fully consumed to recycle.
+func (s *Stream) Recycle() {
+	if s.cur != nil && s.pos == len(s.cur) {
+		select {
+		case s.free <- s.cur:
+		default:
+		}
+		s.cur = nil
+		s.pos = 0
+	}
 }
 
 // Close stops the workers and unblocks any in-flight Read (which then
@@ -349,10 +439,17 @@ func FillLanes(alg Algorithm, seed uint64, workers, lanes int, dst []byte) error
 				mu.Unlock()
 				return
 			}
-			buf := make([]byte, blk)
-			for off := lo; off < hi; off += blk {
-				eng.nextBlock(buf)
-				copy(dst[off:hi], buf)
+			// Whole blocks are generated straight into dst; only a
+			// trailing partial block passes through a scratch buffer.
+			n := hi - lo
+			aligned := n / blk * blk
+			if aligned > 0 {
+				eng.nextBlocks(dst[lo:lo+aligned], nil)
+			}
+			if aligned < n {
+				tail := make([]byte, blk)
+				eng.nextBlock(tail)
+				copy(dst[lo+aligned:hi], tail)
 			}
 		}(w, lo, hi)
 	}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+// refStreamBytes reads n bytes of the (alg, seed, workers, staging)
+// stream through plain Read — the reference for the other consumers.
+func refStreamBytes(t *testing.T, alg Algorithm, seed uint64, workers, staging, n int) []byte {
+	t.Helper()
+	s, err := NewStream(alg, seed, StreamConfig{Workers: workers, StagingBytes: staging})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// errSink stops accepting writes after n bytes, like the server's
+// response budget writer.
+type errSink struct {
+	buf bytes.Buffer
+	n   int
+}
+
+var errSinkFull = errors.New("sink full")
+
+func (e *errSink) Write(p []byte) (int, error) {
+	if e.buf.Len() >= e.n {
+		return 0, errSinkFull
+	}
+	if rem := e.n - e.buf.Len(); len(p) > rem {
+		k, _ := e.buf.Write(p[:rem])
+		return k, errSinkFull
+	}
+	return e.buf.Write(p)
+}
+
+func TestStreamWriteToMatchesRead(t *testing.T) {
+	const n = 1 << 20
+	for _, workers := range []int{1, 3} {
+		want := refStreamBytes(t, TRIVIUM, 7, workers, 8192, n)
+
+		s, err := NewStream(TRIVIUM, 7, StreamConfig{Workers: workers, StagingBytes: 8192})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := &errSink{n: n}
+		got, err := s.WriteTo(sink)
+		s.Close()
+		if !errors.Is(err, errSinkFull) {
+			t.Fatalf("workers=%d: WriteTo err = %v, want sink full", workers, err)
+		}
+		if got != n {
+			t.Fatalf("workers=%d: WriteTo wrote %d bytes, want %d", workers, got, n)
+		}
+		if !bytes.Equal(sink.buf.Bytes(), want) {
+			t.Fatalf("workers=%d: WriteTo bytes differ from Read bytes", workers)
+		}
+	}
+}
+
+// TestStreamConsumerInterleaving drives one stream through all three
+// consumption APIs in turn — Read, WriteTo (with a mid-chunk cutoff),
+// NextChunk — and checks the concatenation is the canonical stream.
+func TestStreamConsumerInterleaving(t *testing.T) {
+	const n = 1 << 20
+	want := refStreamBytes(t, GRAIN, 99, 2, 8192, n)
+
+	s, err := NewStream(GRAIN, 99, StreamConfig{Workers: 2, StagingBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var got bytes.Buffer
+	buf := make([]byte, 3000) // deliberately not chunk-aligned
+	for round := 0; got.Len() < n; round++ {
+		switch round % 3 {
+		case 0:
+			if _, err := io.ReadFull(s, buf); err != nil {
+				t.Fatal(err)
+			}
+			got.Write(buf)
+		case 1:
+			// Cut WriteTo off mid-chunk; the remainder must surface in
+			// the next consumer call.
+			sink := &errSink{n: 5000}
+			k, err := s.WriteTo(sink)
+			if !errors.Is(err, errSinkFull) {
+				t.Fatalf("WriteTo err = %v", err)
+			}
+			if k != 5000 {
+				t.Fatalf("WriteTo wrote %d, want 5000", k)
+			}
+			got.Write(sink.buf.Bytes())
+		case 2:
+			c, err := s.NextChunk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.Write(c)
+			s.Recycle()
+		}
+	}
+	if !bytes.Equal(got.Bytes()[:n], want) {
+		t.Fatal("interleaved Read/WriteTo/NextChunk bytes differ from canonical stream")
+	}
+}
+
+// TestNextChunkConcurrentClose hammers the chunk-handoff path against a
+// concurrent Close (run under -race in CI).
+func TestNextChunkConcurrentClose(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		s, err := NewStream(MICKEY, uint64(i), StreamConfig{Workers: 2, StagingBytes: 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c, err := s.NextChunk()
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("NextChunk err = %v, want ErrClosed", err)
+					}
+					return
+				}
+				if len(c) == 0 {
+					t.Error("NextChunk returned empty chunk")
+					return
+				}
+				s.Recycle()
+			}
+		}()
+		s.Close()
+		wg.Wait()
+	}
+}
+
+// TestSteadyStateAllocs pins the tentpole property: once warmed, the
+// stream datapath — engine passes, rekeys at pass boundaries, chunk
+// handoff and consumption — runs without heap allocations.
+func TestSteadyStateAllocs(t *testing.T) {
+	for _, alg := range Algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			s, err := NewStream(alg, 5, StreamConfig{Workers: 1, StagingBytes: 64 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			buf := make([]byte, 64<<10)
+			// Warm up: populate the free list and retire the constructor's
+			// lazily-allocated first chunks.
+			for i := 0; i < 8; i++ {
+				if _, err := io.ReadFull(s, buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Each round reads a full staging chunk, so sustained reading
+			// crosses engine pass boundaries (one rekey per 128 KiB at 64
+			// lanes) — the rekey path must be allocation-free too.
+			avg := testing.AllocsPerRun(32, func() {
+				if _, err := io.ReadFull(s, buf); err != nil {
+					t.Fatal(err)
+				}
+			})
+			// The producer goroutine's allocations land in the same global
+			// counter; allow a tiny residue for channel scheduling noise.
+			if avg > 0.5 {
+				t.Fatalf("steady-state Read allocates %.2f objects per 64KiB chunk, want ~0", avg)
+			}
+		})
+	}
+}
+
+// TestGeneratorRekeyAllocs pins the single-engine rekey path: reading
+// whole passes forever re-derives key/IV material and re-runs every
+// cipher key schedule with zero heap allocations.
+func TestGeneratorRekeyAllocs(t *testing.T) {
+	for _, alg := range Algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			g, err := NewGenerator(alg, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One pass = lanes × SegmentBytes; reading it in full forces a
+			// rekey per iteration.
+			buf := make([]byte, DefaultLanes*SegmentBytes)
+			g.Read(buf) // warm up
+			avg := testing.AllocsPerRun(8, func() { g.Read(buf) })
+			if avg > 0 {
+				t.Fatalf("pass-boundary rekey allocates %.2f objects per pass, want 0", avg)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package grain
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitslice"
 )
@@ -23,6 +24,12 @@ type SlicedVec[V bitslice.Vec] struct {
 	s, b  []V // plane buffers of length regBits+window
 	pos   int // window origin: state bit i of the current clock is s[pos+i]
 	lanes int
+
+	// vals is Reseed's packing scratch: one word per lane, so reloading
+	// key/IV material packs 64 bits per lane at a time (a word transpose)
+	// instead of setting 144 bits per lane one by one — and allocates
+	// nothing on the per-pass rekey path.
+	vals []uint64
 }
 
 // Sliced is the native 64-lane engine (the uint64 datapath).
@@ -45,6 +52,7 @@ func NewSlicedVec[V bitslice.Vec](keys, ivs [][]byte) (*SlicedVec[V], error) {
 		s:     make([]V, regBits+window),
 		b:     make([]V, regBits+window),
 		lanes: lanes,
+		vals:  make([]uint64, lanes),
 	}
 	if err := g.Reseed(keys, ivs); err != nil {
 		return nil, err
@@ -70,21 +78,30 @@ func (g *SlicedVec[V]) Reseed(keys, ivs [][]byte) error {
 			return fmt.Errorf("grain: lane %d iv must be %d bytes", l, IVSize)
 		}
 	}
-	var zero V
-	for i := range g.s {
-		g.s[i] = zero
-		g.b[i] = zero
-	}
 	g.pos = 0
-	for l := 0; l < g.lanes; l++ {
-		for i := 0; i < regBits; i++ {
-			bitslice.SetLaneBitVec(g.b, i, l, bitOf(keys[l], i))
-		}
-		for i := 0; i < 64; i++ {
-			bitslice.SetLaneBitVec(g.s, i, l, bitOf(ivs[l], i))
+	// Load the registers 64 bits per lane at a time: pack the (MSB-first
+	// within bytes) material into one word per lane and word-transpose it
+	// into planes. Every plane in [0, regBits) is overwritten and the
+	// window tail is fully rewritten before it is ever read, so no
+	// zeroing pass is needed.
+	g.packPlanes(g.b[:64], keys, 0, 8)        // NFSR bits 0..63
+	g.packPlanes(g.b[64:regBits], keys, 8, 2) // NFSR bits 64..79
+	g.packPlanes(g.s[:64], ivs, 0, 8)         // LFSR bits 0..63 = IV
+	ones := bitslice.BroadcastVec[V](1)
+	for i := 64; i < regBits; i++ { // LFSR bits 64..79 = all-ones
+		g.s[i] = ones
+	}
+	// Mask the all-ones planes down to the active lanes so inactive lane
+	// bits stay zero, as the bit-by-bit load left them.
+	if g.lanes < bitslice.VecLanes[V]() {
+		var mask V
+		for l := 0; l < g.lanes; l++ {
+			mask[l>>6] |= uint64(1) << uint(l&63)
 		}
 		for i := 64; i < regBits; i++ {
-			bitslice.SetLaneBitVec(g.s, i, l, 1)
+			for k := 0; k < len(mask); k++ {
+				g.s[i][k] &= mask[k]
+			}
 		}
 	}
 	for i := 0; i < initClocks; i++ {
@@ -94,12 +111,28 @@ func (g *SlicedVec[V]) Reseed(keys, ivs [][]byte) error {
 	return nil
 }
 
+// packPlanes fills dst (up to 64 planes) from byte material: plane i,
+// lane L = bit i (MSB-first within bytes) of src[L][off:off+nbytes].
+func (g *SlicedVec[V]) packPlanes(dst []V, src [][]byte, off, nbytes int) {
+	for l := 0; l < g.lanes; l++ {
+		var w uint64
+		for j := 0; j < nbytes; j++ {
+			w |= uint64(bits.Reverse8(src[l][off+j])) << uint(8*j)
+		}
+		g.vals[l] = w
+	}
+	planes := bitslice.PackWordsVec[V](g.vals)
+	copy(dst, planes[:])
+}
+
 // Lanes returns the number of active lanes.
 func (g *SlicedVec[V]) Lanes() int { return g.lanes }
 
 func (g *SlicedVec[V]) outputVec() V {
-	s := g.s[g.pos:]
-	b := g.b[g.pos:]
+	// Exact-length reslices let the compiler drop the bounds checks on
+	// the constant tap indices below.
+	s := g.s[g.pos:][:65]
+	b := g.b[g.pos:][:64]
 	var z V
 	for k := 0; k < len(z); k++ {
 		x0, x1, x2, x3, x4 := s[3][k], s[25][k], s[46][k], s[64][k], b[63][k]
@@ -114,8 +147,8 @@ func (g *SlicedVec[V]) outputVec() V {
 // clock advances all lanes one step, XORing the feedback planes into the
 // new planes (used during initialization; zero planes in keystream mode).
 func (g *SlicedVec[V]) clock(fbS, fbB V) {
-	s := g.s[g.pos:]
-	b := g.b[g.pos:]
+	s := g.s[g.pos:][:63]
+	b := g.b[g.pos:][:64]
 	var ns, nb V
 	for k := 0; k < len(fbS); k++ {
 		ns[k] = s[62][k] ^ s[51][k] ^ s[38][k] ^ s[23][k] ^ s[13][k] ^ s[0][k] ^ fbS[k]
@@ -142,11 +175,41 @@ func (g *SlicedVec[V]) clock(fbS, fbB V) {
 }
 
 // ClockVec emits one keystream plane (lane L = lane L's next bit) and
-// advances the generator.
+// advances the generator. Output filter and register feedback are fused
+// into one pass over the lanes: in keystream mode the feedback planes
+// are zero, so the separate outputVec+clock round trip (two loop bodies,
+// two sets of slice headers per clock) collapses into one.
 func (g *SlicedVec[V]) ClockVec() V {
-	z := g.outputVec()
-	var zero V
-	g.clock(zero, zero)
+	s := g.s[g.pos:][:65]
+	b := g.b[g.pos:][:64]
+	var z, ns, nb V
+	for k := 0; k < len(z); k++ {
+		x0, x1, x2, x3, x4 := s[3][k], s[25][k], s[46][k], s[64][k], b[63][k]
+		h := x1 ^ x4 ^ x0&x3 ^ x2&x3 ^ x3&x4 ^
+			x0&x1&x2 ^ x0&x2&x3 ^ x0&x2&x4 ^ x1&x2&x4 ^ x2&x3&x4
+		a := b[1][k] ^ b[2][k] ^ b[4][k] ^ b[10][k] ^ b[31][k] ^ b[43][k] ^ b[56][k]
+		z[k] = a ^ h
+
+		ns[k] = s[62][k] ^ s[51][k] ^ s[38][k] ^ s[23][k] ^ s[13][k] ^ s[0][k]
+		lin := b[62][k] ^ b[60][k] ^ b[52][k] ^ b[45][k] ^ b[37][k] ^ b[33][k] ^
+			b[28][k] ^ b[21][k] ^ b[14][k] ^ b[9][k] ^ b[0][k]
+		nl := x4&b[60][k] ^ b[37][k]&b[33][k] ^ b[15][k]&b[9][k] ^
+			b[60][k]&b[52][k]&b[45][k] ^ b[33][k]&b[28][k]&b[21][k] ^
+			x4&b[45][k]&b[28][k]&b[9][k] ^ b[60][k]&b[52][k]&b[37][k]&b[33][k] ^
+			x4&b[60][k]&b[21][k]&b[15][k] ^
+			x4&b[60][k]&b[52][k]&b[45][k]&b[37][k] ^
+			b[33][k]&b[28][k]&b[21][k]&b[15][k]&b[9][k] ^
+			b[52][k]&b[45][k]&b[37][k]&b[33][k]&b[28][k]&b[21][k]
+		nb[k] = s[0][k] ^ lin ^ nl
+	}
+	g.s[g.pos+regBits] = ns
+	g.b[g.pos+regBits] = nb
+	g.pos++
+	if g.pos == window {
+		copy(g.s[:regBits], g.s[window:])
+		copy(g.b[:regBits], g.b[window:])
+		g.pos = 0
+	}
 	return z
 }
 

@@ -27,8 +27,10 @@ import (
 // so the wide engine is K lock-stepped 64-lane engines sharing one control
 // flow — one instruction stream, K× the lanes.
 type SlicedVec[V bitslice.Vec] struct {
-	r, s   []V // current planes, length 100 each
-	nr, ns []V // scratch planes (swapped in after every clock)
+	// Fixed-size register arrays (not slices): every clockKG index is
+	// provably in range, so the hot loop runs without bounds checks.
+	r, s   *[regBits]V // current planes
+	nr, ns *[regBits]V // scratch planes (swapped in after every clock)
 	lanes  int
 
 	// broadcast constants, one plane per state bit; the per-index selector
@@ -36,11 +38,12 @@ type SlicedVec[V bitslice.Vec] struct {
 	// AND/XOR so the clock loop is branch-free.
 	c0, c1 [regBits]V
 	tapB   [regBits]V // all-ones where i ∈ RTAPS
-	// S feedback selectors by (FB0, FB1): exactly one of the three is all-one
-	// when any feedback applies at index i.
-	selZero [regBits]V // FB0=1, FB1=0: term = fbS & ^ctrlS
-	selOne  [regBits]V // FB0=0, FB1=1: term = fbS & ctrlS
-	selBoth [regBits]V // FB0=1, FB1=1: term = fbS
+	// S feedback selectors, folded to two planes per index so the clock
+	// loop computes the feedback term as fbS & (selX ^ selD & ctrlS):
+	// selX is the (FB0,FB1)-selector mask when the control bit is 0 and
+	// selX^selD the mask when it is 1.
+	selX [regBits]V // FB0=1 (applies at ctrlS=0), plus FB1=FB0=1 (always)
+	selD [regBits]V // flips the mask where exactly one of FB0/FB1 is set
 }
 
 // Sliced is the native 64-lane engine (the uint64 datapath).
@@ -60,17 +63,18 @@ func NewSlicedVec[V bitslice.Vec](keys [][]byte, ivs [][]byte, ivBits int) (*Sli
 		return nil, fmt.Errorf("mickey: lane count %d out of range [1,%d]", lanes, bitslice.VecLanes[V]())
 	}
 	m := &SlicedVec[V]{
-		r: make([]V, regBits), s: make([]V, regBits),
-		nr: make([]V, regBits), ns: make([]V, regBits),
+		r: new([regBits]V), s: new([regBits]V),
+		nr: new([regBits]V), ns: new([regBits]V),
 		lanes: lanes,
 	}
 	for i := 0; i < regBits; i++ {
 		m.c0[i] = bitslice.BroadcastVec[V](maskBit(&comp0, i))
 		m.c1[i] = bitslice.BroadcastVec[V](maskBit(&comp1, i))
 		f0, f1 := maskBit(&sMask0, i), maskBit(&sMask1, i)
-		m.selZero[i] = bitslice.BroadcastVec[V](f0 &^ f1)
-		m.selOne[i] = bitslice.BroadcastVec[V](f1 &^ f0)
-		m.selBoth[i] = bitslice.BroadcastVec[V](f0 & f1)
+		// Masks at ctrlS=0 (FB0 or both set) and ctrlS=1 (FB1 or both);
+		// selD is their XOR, so mask(ctrlS) = selX ^ selD&ctrlS.
+		m.selX[i] = bitslice.BroadcastVec[V](f0)
+		m.selD[i] = bitslice.BroadcastVec[V](f0 ^ f1)
 	}
 	allOnes := bitslice.BroadcastVec[V](1)
 	for _, t := range rtaps {
@@ -130,7 +134,7 @@ func (m *SlicedVec[V]) Reseed(keys [][]byte, ivs [][]byte, ivBits int) error {
 func (m *SlicedVec[V]) clockKG(mixing bool, input V) {
 	r, s, nr, ns := m.r, m.s, m.nr, m.ns
 
-	var ctrlR, ctrlS, fbR, fbS, fb0, fb1 V
+	var ctrlR, ctrlS, fbR, fbS V
 	for k := 0; k < len(input); k++ {
 		ctrlR[k] = s[34][k] ^ r[67][k]
 		ctrlS[k] = s[67][k] ^ r[33][k]
@@ -141,15 +145,14 @@ func (m *SlicedVec[V]) clockKG(mixing bool, input V) {
 		// CLOCK_R feedback: fbR = r[99] ^ inputR; CLOCK_S: fbS = s[99] ^ input.
 		fbR[k] = r[99][k] ^ inR
 		fbS[k] = s[99][k] ^ input[k]
-		fb0[k] = fbS[k] &^ ctrlS[k] // applied where FB0=1, FB1=0
-		fb1[k] = fbS[k] & ctrlS[k]  // applied where FB0=0, FB1=1
 	}
 
 	// CLOCK_R: nr[i] = r[i-1] ^ (i∈RTAPS ? fbR : 0) ^ (r[i] & ctrlR)
+	// S feedback term at index i: fbS & (selX[i] ^ selD[i] & ctrlS).
 	for k := 0; k < len(input); k++ {
 		nr[0][k] = (fbR[k] & m.tapB[0][k]) ^ (r[0][k] & ctrlR[k])
-		ns[0][k] = fb0[k]&m.selZero[0][k] ^ fb1[k]&m.selOne[0][k] ^ fbS[k]&m.selBoth[0][k]
-		ns[99][k] = s[98][k] ^ fb0[k]&m.selZero[99][k] ^ fb1[k]&m.selOne[99][k] ^ fbS[k]&m.selBoth[99][k]
+		ns[0][k] = fbS[k] & (m.selX[0][k] ^ m.selD[0][k]&ctrlS[k])
+		ns[99][k] = s[98][k] ^ fbS[k]&(m.selX[99][k]^m.selD[99][k]&ctrlS[k])
 	}
 	for i := 1; i < regBits; i++ {
 		for k := 0; k < len(input); k++ {
@@ -161,7 +164,7 @@ func (m *SlicedVec[V]) clockKG(mixing bool, input V) {
 	for i := 1; i < 99; i++ {
 		for k := 0; k < len(input); k++ {
 			ns[i][k] = s[i-1][k] ^ ((s[i][k] ^ m.c0[i][k]) & (s[i+1][k] ^ m.c1[i][k])) ^
-				fb0[k]&m.selZero[i][k] ^ fb1[k]&m.selOne[i][k] ^ fbS[k]&m.selBoth[i][k]
+				fbS[k]&(m.selX[i][k]^m.selD[i][k]&ctrlS[k])
 		}
 	}
 

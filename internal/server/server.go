@@ -26,7 +26,9 @@ import (
 	"context"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -110,6 +112,12 @@ type Server struct {
 	healthQuarantined *metrics.LabeledGauge
 	admissionRejected *metrics.Counter
 
+	// respBufs recycles the per-request staging buffer of the hex
+	// response path (the binary path streams shard chunks zero-copy via
+	// WriteTo and needs no buffer). Get returns nil on a cold pool.
+	respBufs      sync.Pool
+	respBufReused *metrics.Counter
+
 	// testHookServing, when set, runs while a /bytes request holds its
 	// shard — it lets tests freeze a request in flight.
 	testHookServing func()
@@ -190,6 +198,8 @@ func New(cfg Config) (*Server, error) {
 		"Shards currently quarantined.", "alg")
 	s.admissionRejected = s.reg.NewCounter("bsrngd_admission_rejected_total",
 		"Requests shed with 429 by MaxInflight admission control.")
+	s.respBufReused = s.reg.NewCounter("bsrngd_response_buffers_reused_total",
+		"Per-request response buffers reused from the pool instead of freshly allocated.")
 	s.reg.NewGaugeFunc("bsrngd_inflight_requests",
 		"Concurrent /bytes requests currently being served.",
 		func() float64 { return float64(s.inflightNow.Load()) })
@@ -447,7 +457,41 @@ func (s *Server) handleBytes(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Bsrng-Algorithm", alg.String())
 	w.Header().Set("X-Bsrng-Shard", strconv.Itoa(sh.id))
 
-	buf := make([]byte, 64<<10)
+	var served int64
+	if useHex {
+		served = s.serveHex(w, st, n)
+		fmt.Fprintln(w)
+	} else {
+		// Bulk path: the shard stream writes its staging chunks straight
+		// to the response — no per-request buffer, each byte copied once
+		// (chunk → ResponseWriter). The limit writer truncates the final
+		// chunk so the shard's stream cursor advances by exactly n and
+		// the next request resumes the deterministic stream mid-chunk.
+		lw := &limitedWriter{w: w, n: n}
+		served, err = st.WriteTo(lw)
+		_ = err // budget spent, client gone, or stream closed: served says how far we got
+	}
+	s.bytesServed.Add(uint64(served))
+	s.requests.With(alg.String(), strconv.Itoa(http.StatusOK)).Inc()
+}
+
+// respBufBytes is the hex path's per-request staging buffer size.
+const respBufBytes = 64 << 10
+
+// getRespBuf checks a response buffer out of the pool, counting reuse.
+func (s *Server) getRespBuf() []byte {
+	if b, ok := s.respBufs.Get().(*[]byte); ok {
+		s.respBufReused.Inc()
+		return *b
+	}
+	return make([]byte, respBufBytes)
+}
+
+// serveHex streams n bytes hex-encoded through a pooled buffer.
+func (s *Server) serveHex(w http.ResponseWriter, st *core.Stream, n int64) int64 {
+	buf := s.getRespBuf()
+	defer s.respBufs.Put(&buf)
+	enc := hex.NewEncoder(w)
 	var served int64
 	for served < n {
 		k := int64(len(buf))
@@ -457,20 +501,40 @@ func (s *Server) handleBytes(w http.ResponseWriter, r *http.Request) {
 		if _, err := st.Read(buf[:k]); err != nil {
 			break // stream closed under us (forced shutdown); stop short
 		}
-		var werr error
-		if useHex {
-			_, werr = fmt.Fprint(w, hex.EncodeToString(buf[:k]))
-		} else {
-			_, werr = w.Write(buf[:k])
-		}
-		if werr != nil {
+		if _, err := enc.Write(buf[:k]); err != nil {
 			break // client went away
 		}
 		served += k
 	}
-	if useHex {
-		fmt.Fprintln(w)
+	return served
+}
+
+// errResponseFull marks a response whose byte budget has been spent; it
+// stops Stream.WriteTo after exactly the requested count.
+var errResponseFull = errors.New("server: response budget spent")
+
+// limitedWriter forwards to w until n bytes have been written, then
+// fails with errResponseFull. An oversized write is truncated to the
+// remaining budget, so the source's cursor advances by exactly the
+// bytes the response consumed.
+type limitedWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (lw *limitedWriter) Write(p []byte) (int, error) {
+	if lw.n <= 0 {
+		return 0, errResponseFull
 	}
-	s.bytesServed.Add(uint64(served))
-	s.requests.With(alg.String(), strconv.Itoa(http.StatusOK)).Inc()
+	trunc := false
+	if int64(len(p)) > lw.n {
+		p = p[:lw.n]
+		trunc = true
+	}
+	k, err := lw.w.Write(p)
+	lw.n -= int64(k)
+	if err == nil && (trunc || lw.n == 0) {
+		err = errResponseFull
+	}
+	return k, err
 }
