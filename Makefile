@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet lint build test race bench-smoke bench bench-compare fuzz fmt serve cover nofaultinject
+.PHONY: verify fmt-check vet lint build test race bench-smoke bench bench-compare certify certify-smoke fuzz fuzz-corpus fmt serve cover nofaultinject
 
-verify: fmt-check vet lint build test race bench-smoke
+verify: fmt-check vet lint build test race certify-smoke bench-smoke
 	@echo "verify: all checks passed"
 
 fmt-check:
@@ -48,26 +48,46 @@ BENCH_MINTIME ?= 1s
 bench:
 	$(GO) run ./cmd/benchcpu -out BENCH_cpu.json -mintime $(BENCH_MINTIME)
 
-# Warn-only throughput drift check: remeasure, then diff against the
-# committed BENCH_cpu.json. Never fails — benchmark runners are noisy —
-# but surfaces per-cell regressions for review (mirrors the CI step).
+# Gating throughput drift check: remeasure, then diff against the
+# committed BENCH_cpu.json. A cell more than BENCH_FAIL_AT slower fails;
+# waive intentional baseline changes per-cell via the committed
+# .benchallow file (alg/lanes/workers patterns — see `benchcompare -h`).
+BENCH_FAIL_AT ?= 0.25
 bench-compare: bench
-	git show HEAD:BENCH_cpu.json | $(GO) run ./cmd/benchcompare -base - -new BENCH_cpu.json
+	git show HEAD:BENCH_cpu.json | $(GO) run ./cmd/benchcompare \
+		-base - -new BENCH_cpu.json -fail-at $(BENCH_FAIL_AT) \
+		-allow "$$(cat .benchallow 2>/dev/null || true)"
+
+# Served-path certification smoke cell (mirrors the CI verify step):
+# boots a real bsrngd, pulls served segments, cross-checks them against
+# the library stream and runs the fast battery. `make certify` is the
+# full nightly matrix (see .github/workflows/certify.yml).
+certify-smoke:
+	$(GO) run ./cmd/certify -short -out CERTIFY.json -md CERTIFY.md
+
+certify:
+	$(GO) run ./cmd/certify -out CERTIFY.json -md CERTIFY.md
+
+# Blocking replay of every committed fuzz seed corpus (mirrors the CI
+# fuzz-corpus job).
+fuzz-corpus:
+	$(GO) test -run=Fuzz -short ./...
 
 # A short pass over every native fuzz target (regression corpora under
-# internal/bitslice/testdata/fuzz always run as part of `make test`).
+# testdata/fuzz always replay blockingly via `make fuzz-corpus`).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzPackBitsRoundTrip -fuzztime=$(FUZZTIME) ./internal/bitslice/
 	$(GO) test -run=NONE -fuzz=FuzzPackWordsRoundTrip -fuzztime=$(FUZZTIME) ./internal/bitslice/
 	$(GO) test -run=NONE -fuzz=FuzzTransposeVec -fuzztime=$(FUZZTIME) ./internal/bitslice/
+	$(GO) test -run=NONE -fuzz=FuzzSlicedMatchesRef -fuzztime=$(FUZZTIME) ./internal/xorgens/
 
 # Whole-repo coverage profile plus hard floors on the packages whose
 # correctness the chaos harness leans on (mirrors the CI coverage job).
 COVER_FLOOR ?= 85.0
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
-	@for pkg in internal/health internal/faultinject internal/lint; do \
+	@for pkg in internal/health internal/faultinject internal/lint internal/certify cmd/nist cmd/certify; do \
 		{ head -n 1 coverage.out; grep "^repro/$$pkg/" coverage.out; } > coverage.pkg.out; \
 		pct="$$($(GO) tool cover -func=coverage.pkg.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }')"; \
 		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \

@@ -56,12 +56,25 @@ const (
 	// TRIVIUM is the bitsliced Trivium engine (extension beyond the
 	// paper's three ciphers; fastest in this repository).
 	TRIVIUM = core.TRIVIUM
+	// XORGENS is the bitsliced xorgens-style F₂-linear engine (Brent's
+	// xorgens4096 recurrence).
+	XORGENS = core.XORGENS
 )
 
-// Algorithms lists all supported algorithms.
+// Chaotic returns the chaotic-iterations post-processed mode of base
+// (Bahi et al.): the base keystream hardened by an XOR-form CIPRNG
+// layer. Parseable/printable as "chaotic(<base>)".
+func Chaotic(base Algorithm) Algorithm { return core.Chaotic(base) }
+
+// Algorithms lists all base engines.
 var Algorithms = core.Algorithms
 
-// ParseAlgorithm maps "mickey", "grain" or "aes-ctr" to an Algorithm.
+// ServedAlgorithms is the default serving/benchmark/certification
+// matrix: every base engine plus one chaotic post-processed mode.
+var ServedAlgorithms = core.ServedAlgorithms
+
+// ParseAlgorithm maps a name like "mickey", "grain", "aes-ctr",
+// "trivium", "xorgens" or "chaotic(<name>)" to an Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
 
 // DefaultLanes is the engine datapath width used when none is chosen:

@@ -1,17 +1,24 @@
 // Command benchcompare diffs two benchcpu reports cell by cell and
-// prints per-cell throughput deltas. It is warn-only by design: CI runs
-// it against the committed BENCH_cpu.json after every bench smoke so
-// reviewers see drift, but a noisy runner never fails the build — the
-// exit status is 0 unless an input cannot be read or parsed.
+// prints per-cell throughput deltas. By default it is warn-only (the
+// exit status is 0 unless an input cannot be read or parsed); with
+// -fail-at it becomes a CI gate, exiting 1 when any cell slows down
+// past the fail threshold unless that cell is listed in -allow.
 //
 // Usage:
 //
 //	benchcompare -base BENCH_cpu.json -new /tmp/bench_new.json [-warn 0.10]
+//	benchcompare -base - -new bench.json -fail-at 0.25
+//	benchcompare ... -fail-at 0.25 -allow 'mickey/64/1,grain/*/*'
 //
 // -base also accepts "-" to read the baseline from stdin, which lets CI
 // compare against a committed revision without a checkout:
 //
 //	git show HEAD:BENCH_cpu.json | benchcompare -base - -new bench.json
+//
+// -allow takes comma-separated alg/lanes/workers patterns ("*" matches
+// any field; the single word "all" matches every cell). Use it in the
+// same commit that intentionally changes a baseline (e.g. an algorithm
+// rewrite) so the gate documents the waiver instead of being disabled.
 package main
 
 import (
@@ -20,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 )
 
 // cell mirrors the benchcpu result schema (unknown fields ignored, so
@@ -59,10 +68,70 @@ func load(path string) (*benchReport, error) {
 	return &rep, nil
 }
 
+// allowPattern is one alg/lanes/workers waiver; empty fields ("*")
+// match anything.
+type allowPattern struct {
+	alg            string
+	lanes, workers int // -1 = wildcard
+}
+
+func (p allowPattern) matches(c cell) bool {
+	return (p.alg == "*" || p.alg == c.Alg) &&
+		(p.lanes == -1 || p.lanes == c.Lanes) &&
+		(p.workers == -1 || p.workers == c.Workers)
+}
+
+// parseAllow parses the -allow list; "all" waives every cell.
+func parseAllow(s string) ([]allowPattern, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if s == "all" {
+		return []allowPattern{{alg: "*", lanes: -1, workers: -1}}, nil
+	}
+	var out []allowPattern
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		parts := strings.Split(tok, "/")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad allow pattern %q (want alg/lanes/workers)", tok)
+		}
+		p := allowPattern{alg: parts[0], lanes: -1, workers: -1}
+		var err error
+		if parts[1] != "*" {
+			if p.lanes, err = strconv.Atoi(parts[1]); err != nil {
+				return nil, fmt.Errorf("bad lanes in allow pattern %q", tok)
+			}
+		}
+		if parts[2] != "*" {
+			if p.workers, err = strconv.Atoi(parts[2]); err != nil {
+				return nil, fmt.Errorf("bad workers in allow pattern %q", tok)
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func allowed(c cell, allow []allowPattern) bool {
+	for _, p := range allow {
+		if p.matches(c) {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	base := flag.String("base", "BENCH_cpu.json", "baseline report path (- for stdin)")
 	next := flag.String("new", "", "new report path (- for stdin)")
 	warnAt := flag.Float64("warn", 0.10, "warn when a cell slows down by more than this fraction")
+	failAt := flag.Float64("fail-at", 0, "exit 1 when a cell slows down by more than this fraction (0 = warn-only)")
+	allowSpec := flag.String("allow", "", "comma-separated alg/lanes/workers patterns exempt from -fail-at (\"all\" waives every cell)")
 	flag.Parse()
 	if *next == "" {
 		fmt.Fprintln(os.Stderr, "benchcompare: -new is required")
@@ -70,6 +139,11 @@ func main() {
 	}
 	if *base == "-" && *next == "-" {
 		fmt.Fprintln(os.Stderr, "benchcompare: only one input may be stdin")
+		os.Exit(2)
+	}
+	allow, err := parseAllow(*allowSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
 		os.Exit(2)
 	}
 
@@ -84,39 +158,51 @@ func main() {
 		os.Exit(1)
 	}
 
-	diff(os.Stdout, b, n, *warnAt)
+	if _, failed := diff(os.Stdout, b, n, *warnAt, *failAt, allow); failed > 0 {
+		os.Exit(1)
+	}
 }
 
 // diff prints the cell-by-cell comparison and returns how many cells
-// regressed past the warn threshold.
-func diff(w io.Writer, b, n *benchReport, warnAt float64) int {
+// regressed past the warn threshold and how many past the (non-waived)
+// fail threshold. failAt 0 disables gating.
+func diff(w io.Writer, b, n *benchReport, warnAt, failAt float64, allow []allowPattern) (warned, failed int) {
 	baseBy := make(map[key]cell, len(b.Results))
 	for _, c := range b.Results {
 		baseBy[key{c.Alg, c.Lanes, c.Workers}] = c
 	}
 
-	var warned int
-	fmt.Fprintf(w, "%-9s %-6s %-8s %12s %12s %8s\n",
+	fmt.Fprintf(w, "%-16s %-6s %-8s %12s %12s %8s\n",
 		"alg", "lanes", "workers", "base MB/s", "new MB/s", "delta")
 	for _, c := range n.Results {
 		old, ok := baseBy[key{c.Alg, c.Lanes, c.Workers}]
 		if !ok {
-			fmt.Fprintf(w, "%-9s %-6d %-8d %12s %12.1f %8s\n",
+			fmt.Fprintf(w, "%-16s %-6d %-8d %12s %12.1f %8s\n",
 				c.Alg, c.Lanes, c.Workers, "(new)", c.BytesPerSec/1e6, "")
 			continue
 		}
 		delta := c.BytesPerSec/old.BytesPerSec - 1
 		mark := ""
-		if delta < -warnAt {
+		switch {
+		case failAt > 0 && delta < -failAt && !allowed(c, allow):
+			mark = "  FAIL: regression past gate"
+			failed++
+		case failAt > 0 && delta < -failAt:
+			mark = "  allowed: regression waived by -allow"
+		case delta < -warnAt:
 			mark = "  WARN: slower than baseline"
 			warned++
 		}
-		fmt.Fprintf(w, "%-9s %-6d %-8d %12.1f %12.1f %+7.1f%%%s\n",
+		fmt.Fprintf(w, "%-16s %-6d %-8d %12.1f %12.1f %+7.1f%%%s\n",
 			c.Alg, c.Lanes, c.Workers, old.BytesPerSec/1e6, c.BytesPerSec/1e6, 100*delta, mark)
 	}
 	if warned > 0 {
 		fmt.Fprintf(w, "benchcompare: %d cell(s) slower than baseline by >%.0f%% "+
-			"(warn-only; benchmark runners are noisy)\n", warned, 100*warnAt)
+			"(warning; benchmark runners are noisy)\n", warned, 100*warnAt)
 	}
-	return warned
+	if failed > 0 {
+		fmt.Fprintf(w, "benchcompare: %d cell(s) slower than baseline by >%.0f%% — failing "+
+			"(waive intentional baseline changes with -allow alg/lanes/workers)\n", failed, 100*failAt)
+	}
+	return warned, failed
 }

@@ -21,8 +21,9 @@ func TestDiffWarnsOnRegressionOnly(t *testing.T) {
 		cell{Alg: "trivium", Lanes: 64, Workers: 1, BytesPerSec: 50e6}, // no baseline cell
 	)
 	var out bytes.Buffer
-	if warned := diff(&out, base, next, 0.10); warned != 1 {
-		t.Fatalf("warned = %d, want 1\n%s", warned, out.String())
+	warned, failed := diff(&out, base, next, 0.10, 0, nil)
+	if warned != 1 || failed != 0 {
+		t.Fatalf("warned, failed = %d, %d, want 1, 0\n%s", warned, failed, out.String())
 	}
 	s := out.String()
 	if !strings.Contains(s, "WARN: slower than baseline") {
@@ -30,6 +31,70 @@ func TestDiffWarnsOnRegressionOnly(t *testing.T) {
 	}
 	if !strings.Contains(s, "(new)") {
 		t.Fatalf("missing (new) marker for unmatched cell:\n%s", s)
+	}
+}
+
+func TestDiffGatesOnFailThreshold(t *testing.T) {
+	base := rep(
+		cell{Alg: "mickey", Lanes: 64, Workers: 1, BytesPerSec: 100e6},
+		cell{Alg: "grain", Lanes: 256, Workers: 1, BytesPerSec: 200e6},
+		cell{Alg: "chaotic(grain)", Lanes: 64, Workers: 1, BytesPerSec: 150e6},
+	)
+	next := rep(
+		cell{Alg: "mickey", Lanes: 64, Workers: 1, BytesPerSec: 60e6},         // -40%: past gate
+		cell{Alg: "grain", Lanes: 256, Workers: 1, BytesPerSec: 170e6},        // -15%: warn only
+		cell{Alg: "chaotic(grain)", Lanes: 64, Workers: 1, BytesPerSec: 90e6}, // -40%: past gate
+	)
+	var out bytes.Buffer
+	warned, failed := diff(&out, base, next, 0.10, 0.25, nil)
+	if failed != 2 || warned != 1 {
+		t.Fatalf("warned, failed = %d, %d, want 1, 2\n%s", warned, failed, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL: regression past gate") {
+		t.Fatalf("missing fail marker:\n%s", out.String())
+	}
+
+	// The same regressions pass when waived.
+	out.Reset()
+	allow, err := parseAllow("mickey/64/1,chaotic(grain)/*/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, failed := diff(&out, base, next, 0.10, 0.25, allow); failed != 0 {
+		t.Fatalf("failed = %d with waivers, want 0\n%s", failed, out.String())
+	}
+	if !strings.Contains(out.String(), "allowed: regression waived") {
+		t.Fatalf("missing waiver marker:\n%s", out.String())
+	}
+
+	// "all" waives everything.
+	allow, _ = parseAllow("all")
+	if _, failed := diff(&out, base, next, 0.10, 0.25, allow); failed != 0 {
+		t.Fatalf("failed = %d with allow=all, want 0", failed)
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	if ps, err := parseAllow(""); err != nil || ps != nil {
+		t.Errorf("empty allow = %v, %v", ps, err)
+	}
+	ps, err := parseAllow(" trivium/64/1 , grain/*/2 ")
+	if err != nil || len(ps) != 2 {
+		t.Fatalf("parseAllow = %v, %v", ps, err)
+	}
+	if !ps[0].matches(cell{Alg: "trivium", Lanes: 64, Workers: 1}) {
+		t.Error("exact pattern does not match")
+	}
+	if ps[0].matches(cell{Alg: "trivium", Lanes: 256, Workers: 1}) {
+		t.Error("exact pattern over-matches")
+	}
+	if !ps[1].matches(cell{Alg: "grain", Lanes: 512, Workers: 2}) {
+		t.Error("wildcard lanes does not match")
+	}
+	for _, bad := range []string{"trivium", "a/b/c", "x/1/y", "x/1"} {
+		if _, err := parseAllow(bad); err == nil {
+			t.Errorf("parseAllow(%q) accepted", bad)
+		}
 	}
 }
 

@@ -88,7 +88,7 @@ func measure(minTime time.Duration, log io.Writer) (*report, error) {
 	if n := runtime.NumCPU(); n > 1 {
 		workerSet = append(workerSet, n)
 	}
-	for _, alg := range core.Algorithms {
+	for _, alg := range core.ServedAlgorithms {
 		for _, lanes := range core.SupportedLanes {
 			for _, workers := range workerSet {
 				r, err := measureCell(alg, lanes, workers, minTime)

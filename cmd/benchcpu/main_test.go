@@ -23,7 +23,7 @@ func TestMeasureGrid(t *testing.T) {
 	if rep.NumCPU > 1 {
 		wantWorkers = 2
 	}
-	wantCells := len(core.Algorithms) * len(core.SupportedLanes) * wantWorkers
+	wantCells := len(core.ServedAlgorithms) * len(core.SupportedLanes) * wantWorkers
 	if len(rep.Results) != wantCells {
 		t.Fatalf("got %d cells, want %d", len(rep.Results), wantCells)
 	}

@@ -4,6 +4,7 @@
 //
 //	bsrng -alg mickey -seed 42 -n 1048576 -workers 8 > random.bin
 //	bsrng -alg grain -n 16 -hex
+//	bsrng -alg 'chaotic(xorgens)' -n 16 -hex
 package main
 
 import (
@@ -18,7 +19,7 @@ import (
 )
 
 func main() {
-	algName := flag.String("alg", "mickey", "algorithm: mickey, grain, aes-ctr or trivium")
+	algName := flag.String("alg", "mickey", "algorithm: mickey, grain, aes-ctr, trivium, xorgens or chaotic(<name>)")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	n := flag.Int64("n", 1<<20, "number of bytes to generate")
 	workers := flag.Int("workers", 1, "worker engines (>1 uses the parallel stream)")

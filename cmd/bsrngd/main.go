@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	bsrngd -addr :8080 -seed 42 -algs mickey,grain,aes-ctr,trivium
+//	bsrngd -addr :8080 -seed 42 -algs mickey,grain,aes-ctr,trivium,xorgens
+//	bsrngd -algs 'trivium,chaotic(trivium)'
 //	curl 'localhost:8080/bytes?alg=mickey&n=1024' -o random.bin
 //	curl 'localhost:8080/bytes?alg=trivium&n=32&hex=1'
 //	curl 'localhost:8080/metrics'
@@ -44,7 +45,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Uint64("seed", 1, "deterministic base seed")
-	algs := flag.String("algs", "", "comma-separated algorithms to serve (default: all)")
+	algs := flag.String("algs", "", "comma-separated algorithms to serve, e.g. trivium,chaotic(grain) (default: every base engine plus chaotic(grain))")
 	shards := flag.Int("shards", 0, "stream shards per algorithm (0 = default 2)")
 	workers := flag.Int("workers", 0, "stream workers per shard (0 = spread CPUs)")
 	staging := flag.Int("staging", 0, "per-worker staging bytes (0 = 64 KiB)")

@@ -22,21 +22,32 @@ import (
 )
 
 func main() {
-	algName := flag.String("alg", "mickey", "generator: mickey, grain, aes-ctr or trivium")
-	file := flag.String("file", "", "read bits from a file instead of a generator")
-	streams := flag.Int("streams", 64, "number of bit streams")
-	bits := flag.Int("bits", 100000, "bits per stream")
-	seed := flag.Uint64("seed", 1, "base seed (stream i uses seed+i)")
-	skipSlow := flag.Bool("fast", false, "skip the slow linear-complexity test")
-	flag.Parse()
-
-	if err := run(os.Stdout, *algName, *file, *streams, *bits, *seed, *skipSlow); err != nil {
-		fmt.Fprintln(os.Stderr, "nist:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(w io.Writer, algName, file string, streams, bits int, seed uint64, skipSlow bool) error {
+// run is the testable entry point: flag parsing, report generation and
+// exit-status mapping (0 ok, 1 runtime failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nist", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	algName := fs.String("alg", "mickey", "generator: mickey, grain, aes-ctr, trivium, xorgens or chaotic(<name>)")
+	file := fs.String("file", "", "read bits from a file instead of a generator")
+	streams := fs.Int("streams", 64, "number of bit streams")
+	bits := fs.Int("bits", 100000, "bits per stream")
+	seed := fs.Uint64("seed", 1, "base seed (stream i uses seed+i)")
+	skipSlow := fs.Bool("fast", false, "skip the slow linear-complexity test")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if err := report(stdout, *algName, *file, *streams, *bits, *seed, *skipSlow); err != nil {
+		fmt.Fprintln(stderr, "nist:", err)
+		return 1
+	}
+	return 0
+}
+
+func report(w io.Writer, algName, file string, streams, bits int, seed uint64, skipSlow bool) error {
 	if streams < 1 || bits < 128 {
 		return fmt.Errorf("need streams ≥ 1 and bits ≥ 128")
 	}

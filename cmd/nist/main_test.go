@@ -12,7 +12,7 @@ import (
 
 func TestRunGeneratorReport(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "trivium", "", 8, 20000, 1, true); err != nil {
+	if err := report(&out, "trivium", "", 8, 20000, 1, true); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -40,7 +40,7 @@ func TestRunFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(&out, "", path, 4, 20000, 1, true); err != nil {
+	if err := report(&out, "", path, 4, 20000, 1, true); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), path) {
@@ -50,22 +50,55 @@ func TestRunFromFile(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "mickey", "", 0, 1000, 1, false); err == nil {
+	if err := report(&out, "mickey", "", 0, 1000, 1, false); err == nil {
 		t.Error("zero streams accepted")
 	}
-	if err := run(&out, "mickey", "", 1, 10, 1, false); err == nil {
+	if err := report(&out, "mickey", "", 1, 10, 1, false); err == nil {
 		t.Error("tiny stream accepted")
 	}
-	if err := run(&out, "nope", "", 1, 1000, 1, false); err == nil {
+	if err := report(&out, "nope", "", 1, 1000, 1, false); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(&out, "", "/nonexistent/file", 1, 1000, 1, false); err == nil {
+	if err := report(&out, "", "/nonexistent/file", 1, 1000, 1, false); err == nil {
 		t.Error("missing file accepted")
 	}
 	// File shorter than requested bits.
 	path := filepath.Join(t.TempDir(), "short.bin")
 	os.WriteFile(path, make([]byte, 10), 0o644)
-	if err := run(&out, "", path, 1, 1000, 1, false); err == nil {
+	if err := report(&out, "", path, 1, 1000, 1, false); err == nil {
 		t.Error("short file accepted")
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-alg", "grain", "-streams", "2", "-bits", "8192", "-fast"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "NIST SP 800-22 battery") {
+		t.Error("report not written to stdout")
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-alg", "nope"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unknown algorithm: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown algorithm") {
+		t.Errorf("error not reported on stderr: %s", stderr.String())
+	}
+
+	if code := run([]string{"-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestRunChaoticAlgorithm(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-alg", "chaotic(xorgens)", "-streams", "2", "-bits", "8192", "-fast"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "chaotic(xorgens)") {
+		t.Error("report does not name the chaotic source")
 	}
 }

@@ -1,0 +1,92 @@
+package chaotic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/health"
+)
+
+func TestPostUnpostRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 8, 64, 2048} {
+		seg := make([]byte, n)
+		rng.Read(seg)
+		orig := append([]byte(nil), seg...)
+		x0 := rng.Uint64()
+		Post(seg, x0)
+		if n > 0 && bytes.Equal(seg, orig) {
+			t.Errorf("n=%d: Post was a no-op", n)
+		}
+		Unpost(seg, x0)
+		if !bytes.Equal(seg, orig) {
+			t.Errorf("n=%d: Unpost(Post(seg)) != seg", n)
+		}
+	}
+}
+
+// Each output word must be the XOR prefix of x0 and the inner words —
+// the collapsed XOR-form CIPRNG recurrence.
+func TestPostIsPrefixXOR(t *testing.T) {
+	words := []uint64{3, 0xFFFFFFFFFFFFFFFF, 0, 0x123456789ABCDEF0}
+	seg := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(seg[8*i:], w)
+	}
+	const x0 = 0xA5A5A5A5A5A5A5A5
+	Post(seg, x0)
+	x := uint64(x0)
+	for i, w := range words {
+		x ^= w
+		if got := binary.LittleEndian.Uint64(seg[8*i:]); got != x {
+			t.Fatalf("word %d = %#x, want prefix %#x", i, got, x)
+		}
+	}
+}
+
+// Different x0 values must produce different orbits from the same inner
+// stream (sensitivity to the initial condition).
+func TestPostX0Sensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]byte, 256)
+	rng.Read(a)
+	b := append([]byte(nil), a...)
+	Post(a, 1)
+	Post(b, 2)
+	if bytes.Equal(a, b) {
+		t.Fatal("different x0 produced identical output")
+	}
+}
+
+// Post over healthy input must stay healthy: the mode is a bijection of
+// the word sequence, not a compressor.
+func TestPostPreservesHealth(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	checker := health.NewChecker(health.Config{})
+	seg := make([]byte, 2048)
+	for i := 0; i < 16; i++ {
+		rng.Read(seg)
+		Post(seg, rng.Uint64())
+		if err := checker.Check(seg); err != nil {
+			t.Fatalf("segment %d unhealthy after Post: %v", i, err)
+		}
+	}
+}
+
+// A pathologically structured inner stream (constant words) must come
+// out less structured: the prefix XOR turns a constant run into an
+// alternating pattern, never a constant run of the same word.
+func TestPostBreaksConstantRuns(t *testing.T) {
+	seg := make([]byte, 64)
+	for o := 0; o < len(seg); o += 8 {
+		binary.LittleEndian.PutUint64(seg[o:], 0xDEADBEEFDEADBEEF)
+	}
+	Post(seg, 0x0123456789ABCDEF)
+	w0 := binary.LittleEndian.Uint64(seg[0:])
+	w1 := binary.LittleEndian.Uint64(seg[8:])
+	if w0 == w1 {
+		t.Fatal("constant input run survived Post unchanged")
+	}
+}

@@ -7,9 +7,11 @@ import (
 
 	"repro/internal/aes"
 	"repro/internal/bitslice"
+	"repro/internal/chaotic"
 	"repro/internal/grain"
 	"repro/internal/mickey"
 	"repro/internal/trivium"
+	"repro/internal/xorgens"
 )
 
 // Algorithm selects the underlying bitsliced CSPRNG.
@@ -27,10 +29,35 @@ const (
 	// paper's three ciphers (the remaining eSTREAM hardware-profile
 	// winner), and the fastest engine in this repository.
 	TRIVIUM
+	// XORGENS is the bitsliced xorgens-style F₂-linear engine (Brent's
+	// xorgens4096 recurrence) — a fifth family whose state update is pure
+	// word-XOR circuitry, following Nandapalan & Brent's line of work.
+	XORGENS
 )
 
-// String returns the algorithm's display name.
+// chaoticFlag marks an Algorithm as a chaotic-iterations post-processed
+// mode of its base engine (Bahi et al.; see internal/chaotic). The flag
+// lives well above the base-engine range so base values stay dense for
+// iteration and the composed value still round-trips through int.
+const chaoticFlag Algorithm = 1 << 8
+
+// Chaotic returns the chaotic-iterations post-processed mode of base.
+// Composing an already-chaotic algorithm is idempotent.
+func Chaotic(base Algorithm) Algorithm { return base.Base() | chaoticFlag }
+
+// IsChaotic reports whether a is a chaotic post-processed mode.
+func (a Algorithm) IsChaotic() bool { return a&chaoticFlag != 0 }
+
+// Base returns the underlying engine of a chaotic mode (a itself for
+// plain algorithms).
+func (a Algorithm) Base() Algorithm { return a &^ chaoticFlag }
+
+// String returns the algorithm's display name; chaotic modes render as
+// "chaotic(<base>)", the spelling ParseAlgorithm accepts back.
 func (a Algorithm) String() string {
+	if a.IsChaotic() {
+		return "chaotic(" + a.Base().String() + ")"
+	}
 	switch a {
 	case MICKEY:
 		return "mickey"
@@ -40,18 +67,37 @@ func (a Algorithm) String() string {
 		return "aes-ctr"
 	case TRIVIUM:
 		return "trivium"
+	case XORGENS:
+		return "xorgens"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
 // AlgorithmNames lists the accepted ParseAlgorithm spellings (canonical
-// names first), for error messages and usage strings.
-var AlgorithmNames = []string{"mickey", "grain", "aes-ctr", "trivium", "aes"}
+// names first), for error messages and usage strings. "chaotic(<name>)"
+// wraps any base engine in the chaotic-iterations post-processing mode.
+var AlgorithmNames = []string{"mickey", "grain", "aes-ctr", "trivium", "xorgens", "aes", "chaotic(<name>)"}
 
 // ParseAlgorithm maps a name (case-insensitive, surrounding whitespace
-// ignored) to an Algorithm.
+// ignored) to an Algorithm. "chaotic(<name>)" selects the
+// chaotic-iterations post-processed mode of the named base engine.
 func ParseAlgorithm(s string) (Algorithm, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	if inner, ok := strings.CutPrefix(name, "chaotic("); ok {
+		inner, ok = strings.CutSuffix(inner, ")")
+		if !ok {
+			return 0, fmt.Errorf("core: malformed algorithm %q (want chaotic(<name>))", s)
+		}
+		base, err := ParseAlgorithm(inner)
+		if err != nil {
+			return 0, err
+		}
+		if base.IsChaotic() {
+			return 0, fmt.Errorf("core: algorithm %q nests chaotic modes", s)
+		}
+		return Chaotic(base), nil
+	}
+	switch name {
 	case "mickey":
 		return MICKEY, nil
 	case "grain":
@@ -60,12 +106,19 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return AESCTR, nil
 	case "trivium":
 		return TRIVIUM, nil
+	case "xorgens":
+		return XORGENS, nil
 	}
 	return 0, fmt.Errorf("core: unknown algorithm %q (want one of %s)", s, strings.Join(AlgorithmNames, ", "))
 }
 
-// Algorithms lists all supported algorithms.
-var Algorithms = []Algorithm{MICKEY, GRAIN, AESCTR, TRIVIUM}
+// Algorithms lists all base engines.
+var Algorithms = []Algorithm{MICKEY, GRAIN, AESCTR, TRIVIUM, XORGENS}
+
+// ServedAlgorithms is the default serving, benchmark and certification
+// matrix: every base engine plus one chaotic post-processed mode
+// (exercising the composition end-to-end without doubling the grid).
+var ServedAlgorithms = []Algorithm{MICKEY, GRAIN, AESCTR, TRIVIUM, XORGENS, Chaotic(GRAIN)}
 
 // SegmentBytes is the unit of the canonical BSRNG byte stream: the stream
 // of one (seed, domain) pair is the concatenation of fixed-size segments,
@@ -273,6 +326,45 @@ func newEngine(alg Algorithm, seed, domain uint64, lanes int) (engine, error) {
 }
 
 func newEngineWidth[V bitslice.Vec](alg Algorithm, seed, domain uint64, lanes int) (engine, error) {
+	rekey, fill, err := newCipherWidth[V](alg.Base(), seed, domain, lanes)
+	if err != nil {
+		return nil, err
+	}
+	if alg.IsChaotic() {
+		rekey, fill = chaoticWrap(seed, domain, lanes, rekey, fill)
+	}
+	return newSegmented(lanes, rekey, fill), nil
+}
+
+// chaoticWrap layers the chaotic-iterations post-processing mode over a
+// cipher's rekey/fill pair: after every lock-step fill, each lane's
+// segment is passed through chaotic.Post with a per-(segment, epoch)
+// initial word x_0 drawn from the seed schedule under its own domain
+// tweak (so the orbit start is decorrelated from the inner key
+// material). x_0 depends on the absolute segment index base+l, never on
+// the lane count, preserving the canonical-stream property.
+func chaoticWrap(seed, domain uint64, lanes int, rekey func(base, epoch uint64) error, fill func([][]byte) error) (func(base, epoch uint64) error, func([][]byte) error) {
+	x0s := make([]uint64, lanes)
+	deriveChaoticX0s(x0s, seed, domain, 0, 0)
+	wrappedRekey := func(base, epoch uint64) error {
+		deriveChaoticX0s(x0s, seed, domain, base, epoch)
+		return rekey(base, epoch)
+	}
+	wrappedFill := func(bufs [][]byte) error {
+		if err := fill(bufs); err != nil {
+			return err
+		}
+		for l, b := range bufs {
+			chaotic.Post(b, x0s[l])
+		}
+		return nil
+	}
+	return wrappedRekey, wrappedFill
+}
+
+// newCipherWidth builds the keyed cipher for one base engine and returns
+// its segment-pass (rekey, fill) hooks.
+func newCipherWidth[V bitslice.Vec](alg Algorithm, seed, domain uint64, lanes int) (func(base, epoch uint64) error, func([][]byte) error, error) {
 	// Each engine owns one laneMaterial scratch: every rekey at a segment
 	// pass boundary rederives key/IV material in place, so the steady
 	// state allocates nothing. The cipher Reseed implementations copy the
@@ -283,47 +375,58 @@ func newEngineWidth[V bitslice.Vec](alg Algorithm, seed, domain uint64, lanes in
 		mat.derive(seed, domain, 0, 0)
 		m, err := mickey.NewSlicedVec[V](mat.keys, mat.ivs, mickey.MaxIVBits)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return newSegmented(lanes, func(base, epoch uint64) error {
+		return func(base, epoch uint64) error {
 			mat.derive(seed, domain, base, epoch)
 			return m.Reseed(mat.keys, mat.ivs, mickey.MaxIVBits)
-		}, m.Keystream), nil
+		}, m.Keystream, nil
 	case GRAIN:
 		mat := newLaneMaterial(lanes, grain.KeySize, grain.IVSize)
 		mat.derive(seed, domain, 0, 0)
 		g, err := grain.NewSlicedVec[V](mat.keys, mat.ivs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return newSegmented(lanes, func(base, epoch uint64) error {
+		return func(base, epoch uint64) error {
 			mat.derive(seed, domain, base, epoch)
 			return g.Reseed(mat.keys, mat.ivs)
-		}, g.Keystream), nil
+		}, g.Keystream, nil
 	case AESCTR:
 		mat := newLaneMaterial(lanes, 16, 8)
 		mat.derive(seed, domain, 0, 0)
 		g, err := aes.NewSlicedCTRVec[V](mat.keys, mat.ivs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return newSegmented(lanes, func(base, epoch uint64) error {
+		return func(base, epoch uint64) error {
 			mat.derive(seed, domain, base, epoch)
 			return g.Reseed(mat.keys, mat.ivs)
-		}, g.Keystream), nil
+		}, g.Keystream, nil
 	case TRIVIUM:
 		mat := newLaneMaterial(lanes, trivium.KeySize, trivium.IVSize)
 		mat.derive(seed, domain, 0, 0)
 		t, err := trivium.NewSlicedVec[V](mat.keys, mat.ivs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return newSegmented(lanes, func(base, epoch uint64) error {
+		return func(base, epoch uint64) error {
 			mat.derive(seed, domain, base, epoch)
 			return t.Reseed(mat.keys, mat.ivs)
-		}, t.Keystream), nil
+		}, t.Keystream, nil
+	case XORGENS:
+		mat := newLaneMaterial(lanes, xorgens.KeySize, xorgens.IVSize)
+		mat.derive(seed, domain, 0, 0)
+		x, err := xorgens.NewSlicedVec[V](mat.keys, mat.ivs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(base, epoch uint64) error {
+			mat.derive(seed, domain, base, epoch)
+			return x.Reseed(mat.keys, mat.ivs)
+		}, x.Keystream, nil
 	}
-	return nil, fmt.Errorf("core: unknown algorithm %v", alg)
+	return nil, nil, fmt.Errorf("core: unknown algorithm %v", alg)
 }
 
 // Generator is a deterministic single-engine BSRNG byte stream: one

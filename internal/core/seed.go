@@ -80,6 +80,24 @@ func newLaneMaterial(lanes, keyLen, ivLen int) *laneMaterial {
 	return m
 }
 
+// chaoticSeedTweak domain-separates the chaotic-mode x_0 schedule from
+// the inner engine's key/IV material: the same (seed, domain, segment,
+// epoch) tuple must never feed both, or the post-processing orbit would
+// be correlated with the keystream it perturbs.
+const chaoticSeedTweak = 0x6A09E667F3BCC908 // frac(sqrt(2)), SHA-512 IV word
+
+// deriveChaoticX0s fills x0s with the chaotic-mode initial words of
+// segments base..base+len(x0s)-1. Like segmentMaterial, the value of
+// lane l depends only on (seed, domain, base+l, epoch) — never the lane
+// count — so chaotic modes keep the canonical-stream property.
+func deriveChaoticX0s(x0s []uint64, seed, domain, base, epoch uint64) {
+	for l := range x0s {
+		sm := splitMix64{s: seed ^ chaoticSeedTweak ^ 0xA5A5A5A55A5A5A5A*domain ^ 0xD1342543DE82EF95*(base+uint64(l)) ^ 0x8CB92BA72F3D8DD7*epoch}
+		sm.next()
+		x0s[l] = sm.next()
+	}
+}
+
 // derive overwrites the scratch with the material of segments
 // base..base+lanes-1 — the same bytes segmentMaterial returns for the
 // same arguments.

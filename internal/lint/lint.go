@@ -53,7 +53,7 @@ type Config struct {
 // DefaultConfig returns the production configuration for the module at
 // the given module path.
 func DefaultConfig(module string) *Config {
-	datapath := []string{"core", "bitslice", "lfsr", "crc", "mickey", "grain", "trivium", "aes", "health"}
+	datapath := []string{"core", "bitslice", "lfsr", "crc", "mickey", "grain", "trivium", "aes", "xorgens", "chaotic", "health"}
 	cfg := &Config{
 		GoroutinePackages: []string{module + "/internal/server"},
 		FaultinjectPath:   module + "/internal/faultinject",

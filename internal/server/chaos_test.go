@@ -403,10 +403,10 @@ func TestHealthzReportsPoolState(t *testing.T) {
 	if hz.Status != "ok" {
 		t.Errorf("status %q, want ok", hz.Status)
 	}
-	if len(hz.Pools) != len(core.Algorithms) {
-		t.Errorf("healthz reports %d pools, want %d", len(hz.Pools), len(core.Algorithms))
+	if len(hz.Pools) != len(core.ServedAlgorithms) {
+		t.Errorf("healthz reports %d pools, want %d", len(hz.Pools), len(core.ServedAlgorithms))
 	}
-	for _, alg := range core.Algorithms {
+	for _, alg := range core.ServedAlgorithms {
 		ph, ok := hz.Pools[alg.String()]
 		if !ok {
 			t.Errorf("pool %v missing from healthz", alg)

@@ -126,7 +126,7 @@ type Server struct {
 // New builds the pools and registers the metric set.
 func New(cfg Config) (*Server, error) {
 	if cfg.Algorithms == nil {
-		cfg.Algorithms = core.Algorithms
+		cfg.Algorithms = core.ServedAlgorithms
 	}
 	if len(cfg.Algorithms) == 0 {
 		return nil, fmt.Errorf("server: no algorithms configured")
