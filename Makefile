@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet lint build test race bench-smoke bench bench-compare certify certify-smoke fuzz fuzz-corpus fmt serve cover nofaultinject
+.PHONY: verify fmt-check vet lint build test race bench-smoke bench bench-compare certify certify-smoke loadtest fuzz fuzz-corpus fmt serve cover nofaultinject
 
-verify: fmt-check vet lint build test race certify-smoke bench-smoke
+verify: fmt-check vet lint build test race certify-smoke loadtest bench-smoke
 	@echo "verify: all checks passed"
 
 fmt-check:
@@ -68,6 +68,14 @@ certify-smoke:
 certify:
 	$(GO) run ./cmd/certify -out CERTIFY.json -md CERTIFY.md
 
+# Short deterministic load cell (mirrors the CI verify step): boot a
+# bsrngd in-process, drive the mixed /bytes + /stream + lease workload
+# with library verification, and emit LOAD.json. Scale the same command
+# up by hand for a real soak, e.g.
+# `go run ./cmd/loadgen -clients 1000 -requests 20 -verify`.
+loadtest:
+	$(GO) run ./cmd/loadgen -clients 16 -requests 8 -verify -out LOAD.json
+
 # Blocking replay of every committed fuzz seed corpus (mirrors the CI
 # fuzz-corpus job).
 fuzz-corpus:
@@ -87,7 +95,7 @@ fuzz:
 COVER_FLOOR ?= 85.0
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
-	@for pkg in internal/health internal/faultinject internal/lint internal/certify cmd/nist cmd/certify; do \
+	@for pkg in internal/health internal/faultinject internal/lint internal/certify internal/loadtest cmd/nist cmd/certify cmd/loadgen; do \
 		{ head -n 1 coverage.out; grep "^repro/$$pkg/" coverage.out; } > coverage.pkg.out; \
 		pct="$$($(GO) tool cover -func=coverage.pkg.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }')"; \
 		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \

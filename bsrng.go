@@ -102,6 +102,22 @@ func NewWithLanes(alg Algorithm, seed uint64, lanes int) (*Generator, error) {
 	return core.NewGeneratorLanes(alg, seed, lanes)
 }
 
+// SegmentBytes is the unit of the canonical segment-addressed stream:
+// segment j of a (seed, domain) space is SegmentBytes bytes, keyed
+// only by its absolute index, so any window is randomly addressable.
+const SegmentBytes = core.SegmentBytes
+
+// NewSegmentReader opens the canonical segment stream of (alg, seed,
+// domain) at an absolute byte offset — including mid-segment — and
+// returns a Generator positioned there. The bytes are a pure function
+// of (alg, seed, domain, offset) at every supported lane width, which
+// is what makes bsrngd's addressed /stream windows and lease resume
+// verifiable offline: any holder of the seed can re-derive a served
+// window byte-for-byte.
+func NewSegmentReader(alg Algorithm, seed, domain uint64, lanes int, offset uint64) (*Generator, error) {
+	return core.NewSegmentReader(alg, seed, domain, lanes, offset)
+}
+
 // Stream is the multi-core generator: one bitsliced engine per worker,
 // deterministic output for a fixed configuration. Consume it with Read
 // (io.Reader), WriteTo (io.WriterTo; copies each staging chunk exactly

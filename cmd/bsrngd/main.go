@@ -7,6 +7,10 @@
 //	bsrngd -algs 'trivium,chaotic(trivium)'
 //	curl 'localhost:8080/bytes?alg=mickey&n=1024' -o random.bin
 //	curl 'localhost:8080/bytes?alg=trivium&n=32&hex=1'
+//	curl 'localhost:8080/stream?alg=grain&n=1048576' -o stream.bin   # chunked, flushed per chunk
+//	curl 'localhost:8080/stream?alg=grain&segment=16&n=4096'         # deterministic addressed window
+//	curl -X POST 'localhost:8080/lease?alg=grain&segments=64'        # lease a resumable window
+//	curl 'localhost:8080/stream?lease=<id>&off=65536'                # resume mid-lease
 //	curl 'localhost:8080/metrics'
 //
 // SIGINT/SIGTERM drains gracefully: /healthz flips to 503, in-flight
@@ -53,7 +57,8 @@ func main() {
 	maxBytes := flag.Int64("max-bytes", 0, "per-request byte cap (0 = 16 MiB)")
 	reqTimeout := flag.Duration("timeout", 0, "per-request timeout (0 = 30s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
-	maxInflight := flag.Int("max-inflight", 0, "max concurrent /bytes requests; excess get 429 + Retry-After (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent /bytes + /stream requests; excess get 429 + Retry-After (0 = unlimited)")
+	maxLeaseSegments := flag.Int("max-lease-segments", 0, "per-lease window cap in segments (0 = 65536, i.e. 128 MiB)")
 	noHealth := flag.Bool("no-health", false, "disable the continuous online health tests and shard quarantine")
 	quarantineAfter := flag.Int("quarantine-after", 0, "consecutive failing checkouts before a shard is quarantined (0 = 3)")
 	probationSegments := flag.Int("probation-segments", 0, "clean segments a reseeded shard must produce before re-admission (0 = 4)")
@@ -71,16 +76,17 @@ func main() {
 		os.Exit(2)
 	}
 	srv, err := server.New(server.Config{
-		Seed:            *seed,
-		Algorithms:      algorithms,
-		ShardsPerAlg:    *shards,
-		WorkersPerShard: *workers,
-		StagingBytes:    *staging,
-		Lanes:           *lanes,
-		MaxRequestBytes: *maxBytes,
-		RequestTimeout:  *reqTimeout,
-		MaxInflight:     *maxInflight,
-		DisableHealth:   *noHealth,
+		Seed:             *seed,
+		Algorithms:       algorithms,
+		ShardsPerAlg:     *shards,
+		WorkersPerShard:  *workers,
+		StagingBytes:     *staging,
+		Lanes:            *lanes,
+		MaxRequestBytes:  *maxBytes,
+		RequestTimeout:   *reqTimeout,
+		MaxInflight:      *maxInflight,
+		MaxLeaseSegments: *maxLeaseSegments,
+		DisableHealth:    *noHealth,
 		Health: health.Config{
 			RCTCutoff:    *rctCutoff,
 			APTWindow:    *aptWindow,

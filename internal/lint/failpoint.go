@@ -12,10 +12,14 @@ import (
 // FailpointName enforces the failpoint registry conventions of
 // DESIGN.md §8: every name a faultinject call site carries follows
 // <pkg>.<site>.<effect> (optionally suffixed with scope labels such as
-// the algorithm name), the <pkg> component equals the enclosing
-// package, and every failpoint a test arms or queries is actually hit
-// somewhere in non-test code (otherwise the chaos scenario is vacuous —
-// the test passes while exercising nothing).
+// the algorithm name), the <pkg> component equals the package of the
+// Hit site that defines the failpoint, and every failpoint armed or
+// queried — from tests or from orchestration code such as a chaos
+// driver — is actually hit somewhere in non-test code (otherwise the
+// scenario is vacuous — it passes while exercising nothing). The
+// package-match rule binds only definition (Hit) sites: arming a
+// failpoint from another package is the normal chaos-orchestration
+// shape, and the liveness check already pins the name to a real site.
 //
 // Names are resolved through one level of dataflow: direct string
 // literals, typed constants, and consts/vars/struct fields whose
@@ -55,11 +59,14 @@ func (a fpName) overlaps(b fpName) bool {
 }
 
 func runFailpointName(m *Module, cfg *Config, report func(token.Pos, string, ...any)) {
-	var hits []fpName     // names hit in non-test code, module-wide
-	var testRefs []fpName // names referenced from test files
+	var hits []fpName // names hit in non-test code, module-wide
+	var refs []fpName // names armed or queried anywhere (tests + orchestration)
 	validated := map[token.Pos]bool{}
 
-	validate := func(n fpName, enclosingPkg string) {
+	// validate checks the naming scheme; defines additionally binds the
+	// <pkg> component to the enclosing package (Hit sites only — arming
+	// another package's failpoint is legitimate chaos orchestration).
+	validate := func(n fpName, enclosingPkg string, defines bool) {
 		if validated[n.pos] {
 			return
 		}
@@ -76,7 +83,7 @@ func runFailpointName(m *Module, cfg *Config, report func(token.Pos, string, ...
 				return
 			}
 		}
-		if comps[0] != enclosingPkg {
+		if defines && comps[0] != enclosingPkg {
 			report(n.pos, "failpoint name %q claims package %q but lives in package %q — the <pkg> component must match the enclosing package", n.s, comps[0], enclosingPkg)
 		}
 	}
@@ -118,9 +125,12 @@ func runFailpointName(m *Module, cfg *Config, report func(token.Pos, string, ...
 				if !ok {
 					return true
 				}
-				validate(name, pkg.Name)
-				if fn.Name() == "Hit" {
+				defines := fn.Name() == "Hit"
+				validate(name, pkg.Name, defines)
+				if defines {
 					hits = append(hits, name)
+				} else {
+					refs = append(refs, name)
 				}
 				return true
 			})
@@ -150,16 +160,17 @@ func runFailpointName(m *Module, cfg *Config, report func(token.Pos, string, ...
 				if !ok {
 					return true
 				}
-				validate(name, enclosing)
-				testRefs = append(testRefs, name)
+				validate(name, enclosing, false)
+				refs = append(refs, name)
 				return true
 			})
 		}
 	}
 
-	// Dead failpoints: referenced by tests, hit nowhere in non-test code.
+	// Dead failpoints: armed or queried somewhere, hit nowhere in
+	// non-test code.
 	reported := map[string]bool{}
-	for _, ref := range testRefs {
+	for _, ref := range refs {
 		live := false
 		for _, h := range hits {
 			if ref.overlaps(h) {
@@ -169,7 +180,7 @@ func runFailpointName(m *Module, cfg *Config, report func(token.Pos, string, ...
 		}
 		if !live && !reported[ref.s] {
 			reported[ref.s] = true
-			report(ref.pos, "failpoint %q is referenced in tests but no non-test code hits it — the scenario is vacuous (dead failpoint)", ref.s)
+			report(ref.pos, "failpoint %q is armed or queried but no non-test code hits it — the scenario is vacuous (dead failpoint)", ref.s)
 		}
 	}
 }

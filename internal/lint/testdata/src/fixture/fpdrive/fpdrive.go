@@ -1,0 +1,15 @@
+// Package fpdrive is chaos-orchestration fixture: non-test code that
+// arms another package's failpoints. The <pkg> component names the Hit
+// site's package, not this one, so no package-match finding fires —
+// but arming a name nothing hits is still a dead failpoint.
+package fpdrive
+
+import "repro/internal/faultinject"
+
+func Drive(alg string) {
+	fp := "fp.checkout.fail." + alg
+	faultinject.Arm(fp, 3)
+	defer faultinject.Disarm(fp)
+	faultinject.ArmSeeded("fp.segment.corrupt", 7, 16)
+	faultinject.ArmRange("fpdrive.orphan.effect", 1, 4) // want `dead failpoint`
+}

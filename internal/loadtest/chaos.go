@@ -1,0 +1,146 @@
+package loadtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// healthzDoc mirrors the /healthz JSON the chaos driver polls.
+type healthzDoc struct {
+	Status string `json:"status"`
+	Pools  map[string]struct {
+		Shards      int `json:"shards"`
+		Quarantined int `json:"quarantined"`
+	} `json:"pools"`
+}
+
+// runChaos drives the configured number of quarantine → probation →
+// re-admit cycles against the first algorithm while the client load
+// runs: pulse a seeded corruption failpoint until every shard is
+// condemned, watch /healthz degrade, heal the fault, watch the pool
+// recover. Returns the cycle accounting from the health metrics.
+//
+// The pulse shape matters: each arming is a single shot, re-armed only
+// after it fires. One armed hit condemns exactly one segment
+// generation; the immediate regeneration retries run unarmed and pass,
+// so the stream never exhausts its reseed budget and no corrupt bytes
+// are ever delivered — while every condemnation still strikes the
+// owning shard at checkout, accruing toward quarantine. (A sustained
+// range-armed fault would instead corrupt the retries too, and after
+// maxHealthReseeds the stream ships the condemned segment rather than
+// livelock.)
+func (r *runner) runChaos() (*ChaosReport, error) {
+	if !faultinject.Available() {
+		return nil, fmt.Errorf("loadtest: chaos requested but faultinject is compiled out")
+	}
+	cc := r.cfg.Chaos
+	alg := r.algs[0]
+	fp := "server.segment.corrupt." + alg.String()
+	defer faultinject.Disarm(fp)
+
+	qBefore := r.metricSample(`bsrngd_health_quarantines_total{alg="` + alg.String() + `"}`)
+	rBefore := r.metricSample(`bsrngd_health_readmits_total{alg="` + alg.String() + `"}`)
+
+	for cyc := 0; cyc < cc.Cycles; cyc++ {
+		// The seeded draw places the cycle's first condemned check.
+		nth := faultinject.ArmSeeded(fp, cc.FailpointSeed+uint64(cyc), cc.Window)
+		r.cfg.Logf("loadtest: chaos cycle %d: %s armed at hit %d", cyc, fp, nth)
+
+		drive := func() {
+			if faultinject.Fired(fp) > 0 {
+				faultinject.Arm(fp, 1) // pulse again: next generation condemns
+			}
+			r.prime()
+		}
+		err := r.waitHealthz(cc.PhaseTimeout, drive, func(hz healthzDoc) bool {
+			ph := hz.Pools[alg.String()]
+			return ph.Shards > 0 && ph.Quarantined == ph.Shards
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: chaos cycle %d: pool never fully quarantined: %w", cyc, err)
+		}
+		r.cfg.Logf("loadtest: chaos cycle %d: %s fully quarantined, healing", cyc, alg)
+
+		faultinject.Disarm(fp)
+		err = r.waitHealthz(cc.PhaseTimeout, nil, func(hz healthzDoc) bool {
+			return hz.Status == "ok" && hz.Pools[alg.String()].Quarantined == 0
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: chaos cycle %d: pool never recovered: %w", cyc, err)
+		}
+		r.cfg.Logf("loadtest: chaos cycle %d: %s re-admitted", cyc, alg)
+	}
+
+	return &ChaosReport{
+		Algorithm:   alg.String(),
+		Cycles:      cc.Cycles,
+		Quarantines: r.metricSample(`bsrngd_health_quarantines_total{alg="`+alg.String()+`"}`) - qBefore,
+		Readmits:    r.metricSample(`bsrngd_health_readmits_total{alg="`+alg.String()+`"}`) - rBefore,
+	}, nil
+}
+
+// prime issues one small pooled request on the chaos algorithm:
+// quarantine decisions happen at shard checkout, so without traffic a
+// condemned pool never trips.
+func (r *runner) prime() {
+	resp, err := r.client.Get(fmt.Sprintf("%s/bytes?alg=%s&n=%d",
+		r.base, r.algs[0], r.cfg.BytesN))
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// waitHealthz polls /healthz until ok returns true, running drive (when
+// non-nil) each iteration to keep the fault pulsed and the pool under
+// checkout pressure.
+func (r *runner) waitHealthz(timeout time.Duration, drive func(), ok func(healthzDoc) bool) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if drive != nil {
+			drive()
+		}
+		resp, err := r.client.Get(r.base + "/healthz")
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var hz healthzDoc
+			if rerr == nil && json.Unmarshal(body, &hz) == nil && ok(hz) {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out after %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// metricSample fetches one sample (0 when absent or unreachable) from
+// the daemon's /metrics exposition.
+func (r *runner) metricSample(name string) float64 {
+	resp, err := r.client.Get(r.base + "/metrics")
+	if err != nil {
+		return 0
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(line[len(name)+1:]), 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}

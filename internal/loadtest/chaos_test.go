@@ -1,0 +1,86 @@
+package loadtest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+// The chaos soak cell (run in the CI race job): concurrent clients
+// hammer a booted daemon while seeded failpoints condemn segments on
+// the served algorithm. Every quarantine → probation → re-admit cycle
+// must complete, no corrupt bytes may reach a client, and a second run
+// of the identical Config must pull a byte-identical window multiset.
+func TestChaosSoak(t *testing.T) {
+	if !faultinject.Available() {
+		t.Skip("faultinject compiled out (bsrng_nofaultinject)")
+	}
+	t.Cleanup(faultinject.Reset)
+
+	// One algorithm: lease domains then map to the same engine in every
+	// run, keeping the window digest comparable across runs.
+	cfg := Config{
+		Server:            smallServer(53, core.TRIVIUM),
+		Clients:           6,
+		RequestsPerClient: 8,
+		Verify:            true,
+		Chaos: &ChaosConfig{
+			FailpointSeed: 11,
+			Window:        8,
+			Cycles:        2,
+			PhaseTimeout:  20 * time.Second,
+		},
+		Logf: t.Logf,
+	}
+	run := func() *Result {
+		t.Helper()
+		faultinject.Reset()
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	res := run()
+	if res.Chaos == nil {
+		t.Fatal("chaos run returned no chaos report")
+	}
+	if res.Chaos.Cycles != cfg.Chaos.Cycles || res.Chaos.Algorithm != "trivium" {
+		t.Errorf("chaos report %+v", res.Chaos)
+	}
+	// Every cycle quarantines and re-admits the full pool at least once
+	// (while a pulse is armed a re-admitted shard may cycle again, so the
+	// counters are a floor, not an exact count), and every quarantined
+	// shard was re-admitted by the end of the run.
+	wantEvents := float64(smallServer(53, core.TRIVIUM).ShardsPerAlg * cfg.Chaos.Cycles)
+	if res.Chaos.Quarantines < wantEvents {
+		t.Errorf("quarantines %.0f, want ≥ %.0f", res.Chaos.Quarantines, wantEvents)
+	}
+	if res.Chaos.Readmits != res.Chaos.Quarantines {
+		t.Errorf("readmits %.0f != quarantines %.0f — shards left quarantined",
+			res.Chaos.Readmits, res.Chaos.Quarantines)
+	}
+	// No corrupt bytes observed, by two independent detectors.
+	if res.VerifyMismatches != 0 {
+		t.Errorf("%d verify mismatches during chaos", res.VerifyMismatches)
+	}
+	if res.ZeroRuns != 0 {
+		t.Errorf("%d zero runs — a condemned segment leaked to a client", res.ZeroRuns)
+	}
+	if res.VerifiedWindows == 0 {
+		t.Error("chaos run verified no windows")
+	}
+	// 503s while the pool is fully quarantined are the intended shed
+	// path; anything else is a failure.
+	if res.NonOK != 0 {
+		t.Errorf("non-OK %d (statuses %v)", res.NonOK, res.Statuses)
+	}
+
+	res2 := run()
+	if res2.WindowDigest != res.WindowDigest {
+		t.Errorf("chaos runs diverge: digest %s vs %s", res.WindowDigest, res2.WindowDigest)
+	}
+}

@@ -1,0 +1,86 @@
+package loadtest
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// latBuckets spans [1µs, ~16s) at four buckets per octave: worst-case
+// quantile error ~19%, fixed footprint, no allocation on the hot path.
+const latBuckets = 160
+
+// latHist is a concurrency-safe log-bucketed latency histogram.
+type latHist struct {
+	mu      sync.Mutex
+	buckets [latBuckets]int64
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+}
+
+func (h *latHist) observe(d time.Duration) {
+	idx := 0
+	if us := float64(d) / float64(time.Microsecond); us >= 1 {
+		idx = int(math.Log2(us) * 4)
+		if idx >= latBuckets {
+			idx = latBuckets - 1
+		}
+	}
+	h.mu.Lock()
+	h.buckets[idx]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// quantileLocked returns the q-quantile in milliseconds as the upper
+// bound of the bucket holding the q-ranked observation.
+func (h *latHist) quantileLocked(q float64) float64 {
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			us := math.Exp2(float64(i+1) / 4)
+			if ms := us / 1000; ms < float64(h.max)/float64(time.Millisecond) {
+				return ms
+			}
+			return float64(h.max) / float64(time.Millisecond)
+		}
+	}
+	return float64(h.max) / float64(time.Millisecond)
+}
+
+// LatencySummary is the machine-readable digest of one request shape's
+// latency distribution, in milliseconds.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func (h *latHist) summary() LatencySummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Count:  h.count,
+		MeanMs: float64(h.sum) / float64(h.count) / float64(time.Millisecond),
+		P50Ms:  h.quantileLocked(0.50),
+		P90Ms:  h.quantileLocked(0.90),
+		P99Ms:  h.quantileLocked(0.99),
+		MaxMs:  float64(h.max) / float64(time.Millisecond),
+	}
+}

@@ -16,6 +16,15 @@
 // Endpoints:
 //
 //	GET /bytes?alg=mickey&n=1024[&hex=1]  — n pseudo-random bytes
+//	GET /stream?alg=&n=                   — chunked streaming delivery,
+//	                                        flushed per chunk; addressed
+//	                                        mode via segment=/domain=/
+//	                                        off=/lanes=, resumable lease
+//	                                        mode via lease=&off=
+//	POST /lease?alg=&segments=            — issue a segment lease (a
+//	                                        stateless token over the
+//	                                        deterministic address space)
+//	GET /lease/{id}                       — resolve a lease token
 //	GET /healthz                          — per-algorithm pool state as
 //	                                        JSON; 200 ok / 503 degraded
 //	                                        or draining
@@ -65,10 +74,15 @@ type Config struct {
 	MaxRequestBytes int64
 	// RequestTimeout bounds shard checkout + generation (default 30s).
 	RequestTimeout time.Duration
-	// MaxInflight caps concurrent /bytes requests; excess requests get
-	// 429 with a Retry-After header instead of queueing on checkout.
-	// 0 disables admission control.
+	// MaxInflight caps concurrent requests across /bytes and /stream;
+	// excess requests get 429 with a Retry-After header instead of
+	// queueing on checkout. A long-lived /stream holds one slot for its
+	// whole duration. 0 disables admission control.
 	MaxInflight int
+	// MaxLeaseSegments caps the window of one segment lease (default
+	// 65536 segments = 128 MiB; also the default window when POST /lease
+	// names no size).
+	MaxLeaseSegments int
 	// DisableHealth turns off the continuous online health tests (and
 	// with them shard quarantine). They are ON by default: healthy
 	// engines never trip the cutoffs, so the served bytes are unchanged.
@@ -103,6 +117,16 @@ type Server struct {
 	checkoutLat   *metrics.Histogram
 	streamsActive *metrics.Gauge
 	shardsBusy    *metrics.Gauge
+
+	streamRequests    *metrics.LabeledCounter
+	streamBytes       *metrics.Counter
+	streamChunks      *metrics.Counter
+	streamOpen        *metrics.Gauge
+	streamDisconnects *metrics.Counter
+	leaseRequests     *metrics.LabeledCounter
+	leasesIssued      *metrics.Counter
+	leaseStreams      *metrics.Counter
+	leaseCounter      atomic.Uint64
 
 	inflightNow       atomic.Int64
 	healthFailures    *metrics.LabeledCounter
@@ -152,6 +176,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInflight < 0 {
 		return nil, fmt.Errorf("server: max in-flight %d out of range", cfg.MaxInflight)
 	}
+	if cfg.MaxLeaseSegments == 0 {
+		cfg.MaxLeaseSegments = 65536
+	}
+	if cfg.MaxLeaseSegments < 1 || uint64(cfg.MaxLeaseSegments) > maxLeaseSegmentsHard {
+		return nil, fmt.Errorf("server: max lease segments %d out of range", cfg.MaxLeaseSegments)
+	}
 	if cfg.QuarantineAfter == 0 {
 		cfg.QuarantineAfter = 3
 	}
@@ -198,6 +228,23 @@ func New(cfg Config) (*Server, error) {
 		"Shards currently quarantined.", "alg")
 	s.admissionRejected = s.reg.NewCounter("bsrngd_admission_rejected_total",
 		"Requests shed with 429 by MaxInflight admission control.")
+	s.streamRequests = s.reg.NewLabeledCounter("bsrngd_stream_requests_total",
+		"Requests to /stream by algorithm, mode (pooled, addressed, lease) and HTTP status.",
+		"alg", "mode", "status")
+	s.streamBytes = s.reg.NewCounter("bsrngd_stream_bytes_total",
+		"Bytes delivered over /stream responses.")
+	s.streamChunks = s.reg.NewCounter("bsrngd_stream_chunks_flushed_total",
+		"Chunks written and flushed on /stream responses.")
+	s.streamOpen = s.reg.NewGauge("bsrngd_stream_open",
+		"Currently open /stream responses.")
+	s.streamDisconnects = s.reg.NewCounter("bsrngd_stream_disconnects_total",
+		"Streams ended before their byte budget: client disconnect, drain or pool shutdown.")
+	s.leaseRequests = s.reg.NewLabeledCounter("bsrngd_lease_requests_total",
+		"Requests to the lease endpoints by algorithm and HTTP status.", "alg", "status")
+	s.leasesIssued = s.reg.NewCounter("bsrngd_leases_issued_total",
+		"Segment leases issued by POST /lease.")
+	s.leaseStreams = s.reg.NewCounter("bsrngd_lease_streams_total",
+		"Stream requests addressed through a lease token.")
 	s.respBufReused = s.reg.NewCounter("bsrngd_response_buffers_reused_total",
 		"Per-request response buffers reused from the pool instead of freshly allocated.")
 	s.reg.NewGaugeFunc("bsrngd_inflight_requests",
@@ -263,6 +310,9 @@ func New(cfg Config) (*Server, error) {
 		func() float64 { return float64(s.poolStats().EngineReseeds) })
 
 	s.mux.HandleFunc("GET /bytes", s.handleBytes)
+	s.mux.HandleFunc("GET /stream", s.handleStream)
+	s.mux.HandleFunc("POST /lease", s.handleLeaseCreate)
+	s.mux.HandleFunc("GET /lease/{id}", s.handleLeaseGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
