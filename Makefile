@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet lint build test race bench-smoke bench bench-compare certify certify-smoke loadtest fuzz fuzz-corpus fmt serve cover nofaultinject
+.PHONY: verify fmt-check vet lint build test race bench-smoke bench bench-compare certify certify-smoke loadtest loadtest-cluster fuzz fuzz-corpus fmt serve cover nofaultinject
 
-verify: fmt-check vet lint build test race certify-smoke loadtest bench-smoke
+verify: fmt-check vet lint build test race certify-smoke loadtest loadtest-cluster bench-smoke
 	@echo "verify: all checks passed"
 
 fmt-check:
@@ -76,6 +76,16 @@ certify:
 loadtest:
 	$(GO) run ./cmd/loadgen -clients 16 -requests 8 -verify -out LOAD.json
 
+# Cluster smoke (mirrors the CI step): boot 3 bsrngd nodes behind the
+# in-process consistent-hash router, drive the same verified workload
+# through the router with pulsed forward-fault injection, and emit
+# LOAD_cluster.json (per-node distribution + router counters). A
+# single-algorithm workload keeps the window digest comparable to a
+# single-node run of the same flags — the router must not change bytes.
+loadtest-cluster:
+	$(GO) run ./cmd/loadgen -cluster 3 -cluster-chaos 2 -clients 16 -requests 8 \
+		-algs grain -verify -out LOAD_cluster.json
+
 # Blocking replay of every committed fuzz seed corpus (mirrors the CI
 # fuzz-corpus job).
 fuzz-corpus:
@@ -95,7 +105,7 @@ fuzz:
 COVER_FLOOR ?= 85.0
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
-	@for pkg in internal/health internal/faultinject internal/lint internal/certify internal/loadtest cmd/nist cmd/certify cmd/loadgen; do \
+	@for pkg in internal/health internal/faultinject internal/lint internal/certify internal/loadtest internal/cluster cmd/nist cmd/certify cmd/loadgen; do \
 		{ head -n 1 coverage.out; grep "^repro/$$pkg/" coverage.out; } > coverage.pkg.out; \
 		pct="$$($(GO) tool cover -func=coverage.pkg.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }')"; \
 		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \

@@ -26,6 +26,19 @@
 // sheds excess load with 429 + Retry-After. The bsrngd_health_* metric
 // family on /metrics covers failures, quarantines, reseeds and
 // re-admissions.
+//
+// Cluster mode: -router turns the process into the consistent-hash
+// router tier over the N bsrngd nodes named in -ring (a ring.json
+// membership file, reloaded on SIGHUP):
+//
+//	bsrngd -router -ring ring.json -addr :8080
+//	kill -HUP $(pidof bsrngd)   # apply an edited ring.json
+//
+// The router proxies /bytes, /stream and the lease endpoints to the
+// node owning the request's (alg, domain, segment-window) address, with
+// health-aware failover to any replica — every node sharing the seed
+// serves addressed windows byte-identically, so failover never changes
+// the bytes. See internal/cluster and DESIGN.md §13.
 package main
 
 import (
@@ -41,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/health"
 	"repro/internal/server"
@@ -48,6 +62,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	router := flag.Bool("router", false, "run as the cluster router tier over the ring in -ring instead of serving engines")
+	ringPath := flag.String("ring", "", "router mode: ring membership config (JSON), reloaded on SIGHUP")
 	seed := flag.Uint64("seed", 1, "deterministic base seed")
 	algs := flag.String("algs", "", "comma-separated algorithms to serve, e.g. trivium,chaotic(grain) (default: every base engine plus chaotic(grain))")
 	shards := flag.Int("shards", 0, "stream shards per algorithm (0 = default 2)")
@@ -69,6 +85,14 @@ func main() {
 	monobitSlack := flag.Int("health-monobit-slack", 0, "monobit allowed |ones − bits/2| per segment (0 = 1024)")
 	longRunBits := flag.Int("health-longrun-bits", 0, "long-run failing run of identical bits (0 = 64)")
 	flag.Parse()
+
+	if *router {
+		if err := runRouter(*addr, *ringPath, *drainTimeout); err != nil {
+			fmt.Fprintln(os.Stderr, "bsrngd:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	algorithms, err := parseAlgs(*algs)
 	if err != nil {
@@ -126,6 +150,56 @@ func main() {
 		log.Printf("bsrngd: pool shutdown: %v", err)
 	}
 	log.Print("bsrngd: drained, bye")
+}
+
+// runRouter is the -router main loop: serve the cluster router over
+// the ring file, reload the ring on SIGHUP, drain on SIGINT/SIGTERM.
+func runRouter(addr, ringPath string, drainTimeout time.Duration) error {
+	if ringPath == "" {
+		return errors.New("-router requires -ring <ring.json>")
+	}
+	ring, err := cluster.LoadRing(ringPath)
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Ring: ring, RingPath: ringPath})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Close()
+
+	hs := &http.Server{Addr: addr, Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("bsrngd router listening on %s (%d nodes, ring %s)",
+		addr, len(ring.Nodes()), ringPath)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		select {
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				if err := rt.ReloadFromFile(); err != nil {
+					log.Printf("bsrngd router: ring reload failed, keeping current ring: %v", err)
+				} else {
+					log.Printf("bsrngd router: ring reloaded (%d nodes)", len(rt.Ring().Nodes()))
+				}
+				continue
+			}
+			log.Printf("bsrngd router: %v, draining", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			defer cancel()
+			if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("bsrngd router: http shutdown: %v", err)
+			}
+			log.Print("bsrngd router: drained, bye")
+			return nil
+		case err := <-errc:
+			return fmt.Errorf("listen: %w", err)
+		}
+	}
 }
 
 // parseAlgs maps a comma-separated algorithm list to core.Algorithms;

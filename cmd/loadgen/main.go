@@ -13,6 +13,8 @@
 //	loadgen -clients 1000 -requests 20        # the acceptance load
 //	loadgen -url http://127.0.0.1:8080 -seed 42 -verify
 //	loadgen -chaos 2 -algs trivium            # soak with fault cycles
+//	loadgen -cluster 3 -algs grain -verify    # 3 nodes behind the router
+//	loadgen -cluster 3 -cluster-chaos 4       # + injected forward faults
 //
 // Every client's request sequence is a pure function of
 // (-workload-seed, client index), so a run is reproducible end to end:
@@ -62,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wseed    = fs.Uint64("workload-seed", 1, "deterministic workload seed")
 		chaos    = fs.Int("chaos", 0, "drive N quarantine/re-admit fault cycles during the run (boot mode only)")
 		chaosSd  = fs.Uint64("chaos-seed", 1, "failpoint trigger seed for -chaos")
+		clusterN = fs.Int("cluster", 0, "boot an N-node cluster behind the consistent-hash router and drive the load through it (boot mode only)")
+		fchaos   = fs.Int("cluster-chaos", 0, "fire N pulsed forward-failure faults inside the router during a -cluster run")
+		fchaosSd = fs.Uint64("cluster-chaos-seed", 1, "failpoint trigger seed for -cluster-chaos")
 		shards   = fs.Int("shards", 0, "boot mode: shards per algorithm (default 2)")
 		lanes    = fs.Int("lanes", 0, "boot mode: engine lane width (default 256)")
 		inflight = fs.Int("max-inflight", 0, "boot mode: admission-control cap (default off)")
@@ -117,6 +122,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			FailpointSeed: *chaosSd,
 		}
 	}
+	if *clusterN > 0 {
+		cc := &loadtest.ClusterConfig{Nodes: *clusterN}
+		if *fchaos > 0 {
+			cc.ForwardChaos = &loadtest.ForwardChaosConfig{
+				Pulses:        *fchaos,
+				FailpointSeed: *fchaosSd,
+			}
+		}
+		cfg.Cluster = cc
+	} else if *fchaos > 0 {
+		fmt.Fprintln(stderr, "loadgen: -cluster-chaos requires -cluster")
+		return 2
+	}
 
 	res, err := loadtest.Run(cfg)
 	if err != nil {
@@ -136,6 +154,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "loadgen: PASS — %d requests (%d shed with 429), %.1f MB/s, digest %s\n",
 		res.Requests, res.Rejected429, res.ThroughputMBps, res.WindowDigest[:16])
+	if res.Cluster != nil {
+		fmt.Fprintf(stderr, "loadgen: cluster — %d nodes, per-node %v, %.0f retries, %.0f failovers\n",
+			res.Cluster.Nodes, res.PerNode, res.Cluster.Retries, res.Cluster.Failovers)
+	}
 	return 0
 }
 

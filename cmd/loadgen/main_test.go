@@ -45,6 +45,41 @@ func TestRunBootSmoke(t *testing.T) {
 	}
 }
 
+// A -cluster run boots the nodes behind the router, drives the load
+// through it, and lands the per-node distribution and router accounting
+// in the report.
+func TestRunClusterSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "LOAD.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-cluster", "3", "-clients", "4", "-requests", "4", "-algs", "grain",
+		"-verify", "-seed", "21", "-out", out, "-q",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "cluster — 3 nodes") {
+		t.Errorf("stderr %q does not summarize the cluster", stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res loadtest.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("LOAD.json is not valid JSON: %v", err)
+	}
+	if res.Mode != "cluster" || res.NonOK != 0 {
+		t.Errorf("report mode %q, non-OK %d", res.Mode, res.NonOK)
+	}
+	if res.Cluster == nil || res.Cluster.Nodes != 3 {
+		t.Fatalf("cluster report %+v", res.Cluster)
+	}
+	if len(res.PerNode) != 3 {
+		t.Errorf("per-node distribution %v, want 3 nodes", res.PerNode)
+	}
+}
+
 // Stdout output with -out - keeps the report on one stream.
 func TestRunStdoutReport(t *testing.T) {
 	var stdout, stderr bytes.Buffer
@@ -75,6 +110,9 @@ func TestRunUsageErrors(t *testing.T) {
 		{"bad mix weight", []string{"-mix", "1:x:2"}},
 		{"zero mix", []string{"-mix", "0:0:0"}},
 		{"chaos in dial mode", []string{"-url", "http://127.0.0.1:1", "-chaos", "1"}},
+		{"cluster in dial mode", []string{"-url", "http://127.0.0.1:1", "-cluster", "3"}},
+		{"cluster chaos without cluster", []string{"-cluster-chaos", "2"}},
+		{"cluster with segment chaos", []string{"-cluster", "3", "-chaos", "1"}},
 		{"unwritable out", []string{"-clients", "1", "-requests", "1", "-mix", "1:0:0",
 			"-out", filepath.Join(string(os.PathSeparator), "no-such-dir-xyz", "x.json")}},
 	} {

@@ -1,0 +1,459 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// nodeCfg is the cheap single-algorithm node configuration the cluster
+// tests boot: 1 shard × 1 worker keeps each in-process node light, and
+// shard 0 of every node serves exactly the canonical library stream.
+func nodeCfg(seed uint64) server.Config {
+	return server.Config{
+		Seed:            seed,
+		Algorithms:      []core.Algorithm{core.GRAIN},
+		ShardsPerAlg:    1,
+		WorkersPerShard: 1,
+		StagingBytes:    2048,
+	}
+}
+
+// bootNodes starts n in-process bsrngd nodes sharing cfg (and its seed)
+// and returns their HTTP servers plus ring membership entries.
+func bootNodes(t *testing.T, n int, cfg server.Config) ([]*httptest.Server, []Node) {
+	t.Helper()
+	https := make([]*httptest.Server, n)
+	nodes := make([]Node, n)
+	for i := 0; i < n; i++ {
+		s, err := server.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			s.Shutdown(context.Background())
+		})
+		https[i] = ts
+		nodes[i] = Node{Name: fmt.Sprintf("n%d", i), URL: ts.URL}
+	}
+	return https, nodes
+}
+
+// bootRouter builds a router over the nodes and serves it. The prober
+// is not started — tests drive probeAll directly where they need it.
+func bootRouter(t *testing.T, nodes []Node, mod func(*RouterConfig)) (*Router, *httptest.Server) {
+	t.Helper()
+	ring, err := NewRing(RingConfig{VirtualNodes: 32, SegmentWindow: 1024, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RouterConfig{Ring: ring, RetryBackoff: time.Millisecond}
+	if mod != nil {
+		mod(&cfg)
+	}
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+	})
+	return rt, ts
+}
+
+func get(t *testing.T, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+// metricValue extracts one sample from a /metrics exposition.
+func metricValue(t *testing.T, body []byte, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(line[len(name)+1:]), 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+func routerMetric(t *testing.T, routerURL, name string) float64 {
+	t.Helper()
+	_, body, _ := get(t, routerURL+"/metrics")
+	return metricValue(t, body, name)
+}
+
+// libWindow reads n bytes of the canonical (alg, seed, domain) stream
+// from absolute byte offset off.
+func libWindow(t *testing.T, alg core.Algorithm, seed, domain, off uint64, n int) []byte {
+	t.Helper()
+	src, err := core.NewSegmentReader(alg, seed, domain, 0, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, n)
+	if _, err := io.ReadFull(src, want); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// The tentpole differential: a routed addressed /stream window is
+// byte-identical to the library stream AND to the same request served
+// directly by every node — at every lane width, including a mid-segment
+// start. Determinism is what makes the router's failover sound, so this
+// is the contract everything else leans on.
+func TestRoutedAddressedStreamDifferential(t *testing.T) {
+	const seed = 42
+	https, nodes := bootNodes(t, 3, nodeCfg(seed))
+	_, rts := bootRouter(t, nodes, nil)
+
+	const (
+		domain = 5
+		seg    = 7
+		off    = 1337 // mid-segment
+		n      = 6000
+	)
+	abs := uint64(seg)*core.SegmentBytes + off
+	want := libWindow(t, core.GRAIN, seed, domain, abs, n)
+
+	for _, lanes := range core.SupportedLanes {
+		q := fmt.Sprintf("/stream?alg=grain&domain=%d&segment=%d&off=%d&lanes=%d&n=%d",
+			domain, seg, off, lanes, n)
+		status, body, hdr := get(t, rts.URL+q)
+		if status != http.StatusOK {
+			t.Fatalf("lanes %d: routed status %d", lanes, status)
+		}
+		if !bytes.Equal(body, want) {
+			t.Fatalf("lanes %d: routed bytes diverge from library stream", lanes)
+		}
+		if hdr.Get("X-Bsrng-Cluster-Node") == "" {
+			t.Errorf("lanes %d: no cluster node header", lanes)
+		}
+		// Every node — owner or not — serves the identical window.
+		for i, ts := range https {
+			st, direct, _ := get(t, ts.URL+q)
+			if st != http.StatusOK {
+				t.Fatalf("lanes %d node %d: direct status %d", lanes, i, st)
+			}
+			if !bytes.Equal(direct, want) {
+				t.Fatalf("lanes %d node %d: direct bytes diverge", lanes, i)
+			}
+		}
+	}
+}
+
+// Routed pooled /bytes serves exactly the canonical stream prefix: the
+// router picks a fresh node, and every fresh node's first pooled
+// request is the library stream from byte 0.
+func TestRoutedBytesMatchesDirectAndLibrary(t *testing.T) {
+	const seed = 99
+	https, nodes := bootNodes(t, 3, nodeCfg(seed))
+	_, rts := bootRouter(t, nodes, nil)
+
+	status, routed, hdr := get(t, rts.URL+"/bytes?alg=grain&n=4096")
+	if status != http.StatusOK {
+		t.Fatalf("routed status %d", status)
+	}
+	servedBy := hdr.Get("X-Bsrng-Cluster-Node")
+
+	ref, err := core.NewStream(core.GRAIN, seed, core.StreamConfig{Workers: 1, StagingBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := make([]byte, 4096)
+	if _, err := ref.Read(want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(routed, want) {
+		t.Fatal("routed /bytes diverges from library stream prefix")
+	}
+
+	// A direct first request against a node the router did NOT use is
+	// the same prefix — any replica serves the same canonical stream.
+	for i, ts := range https {
+		if nodes[i].Name == servedBy {
+			continue
+		}
+		st, direct, _ := get(t, ts.URL+"/bytes?alg=grain&n=4096")
+		if st != http.StatusOK {
+			t.Fatalf("direct status %d", st)
+		}
+		if !bytes.Equal(direct, want) {
+			t.Fatal("direct node /bytes diverges from routed bytes")
+		}
+		break
+	}
+}
+
+// leaseDoc mirrors the POST /lease JSON.
+type leaseDoc struct {
+	ID           string `json:"id"`
+	Algorithm    string `json:"alg"`
+	Domain       uint64 `json:"domain"`
+	StartSegment uint64 `json:"start_segment"`
+	Segments     uint64 `json:"segments"`
+	Bytes        uint64 `json:"bytes"`
+	StreamPath   string `json:"stream_path"`
+}
+
+func createLease(t *testing.T, base string, segments int) leaseDoc {
+	t.Helper()
+	resp, err := http.Post(fmt.Sprintf("%s/lease?alg=grain&segments=%d", base, segments), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("lease status %d err %v", resp.StatusCode, err)
+	}
+	var doc leaseDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// Lease issue, resolve, stream and mid-window resume all work through
+// the router, and the reassembled window is the library stream — at
+// every lane width.
+func TestLeaseRoundTripThroughRouter(t *testing.T) {
+	const seed = 7
+	_, nodes := bootNodes(t, 3, nodeCfg(seed))
+	_, rts := bootRouter(t, nodes, nil)
+
+	doc := createLease(t, rts.URL, 4)
+	if doc.Bytes != 4*core.SegmentBytes {
+		t.Fatalf("lease window %d bytes", doc.Bytes)
+	}
+
+	// GET /lease/{id} resolves the token through the router.
+	status, raw, _ := get(t, rts.URL+"/lease/"+doc.ID)
+	if status != http.StatusOK {
+		t.Fatalf("lease resolve status %d", status)
+	}
+	var resolved leaseDoc
+	if err := json.Unmarshal(raw, &resolved); err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Domain != doc.Domain || resolved.Segments != doc.Segments {
+		t.Fatalf("resolved lease %+v differs from issued %+v", resolved, doc)
+	}
+
+	want := libWindow(t, core.GRAIN, seed, doc.Domain, doc.StartSegment*core.SegmentBytes, int(doc.Bytes))
+	half := doc.Bytes / 2
+	for _, lanes := range core.SupportedLanes {
+		st1, part1, _ := get(t, fmt.Sprintf("%s%s&n=%d&lanes=%d", rts.URL, doc.StreamPath, half, lanes))
+		st2, part2, _ := get(t, fmt.Sprintf("%s%s&off=%d&lanes=%d", rts.URL, doc.StreamPath, half, lanes))
+		if st1 != http.StatusOK || st2 != http.StatusOK {
+			t.Fatalf("lanes %d: stream statuses %d, %d", lanes, st1, st2)
+		}
+		got := append(append([]byte(nil), part1...), part2...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("lanes %d: lease window reassembled through router diverges from library", lanes)
+		}
+	}
+}
+
+// Pooled traffic spreads round-robin over healthy nodes.
+func TestPooledSpreadAcrossNodes(t *testing.T) {
+	_, nodes := bootNodes(t, 3, nodeCfg(1))
+	_, rts := bootRouter(t, nodes, nil)
+
+	for i := 0; i < 9; i++ {
+		if status, _, _ := get(t, rts.URL+"/bytes?alg=grain&n=64"); status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+	}
+	_, body, _ := get(t, rts.URL+"/metrics")
+	for _, n := range nodes {
+		sample := fmt.Sprintf(`bsrngd_cluster_forwarded_total{node=%q,endpoint="bytes"}`, n.Name)
+		if got := metricValue(t, body, sample); got != 3 {
+			t.Errorf("node %s forwarded %v pooled requests, want 3", n.Name, got)
+		}
+	}
+}
+
+// The router's own health document tracks node probes.
+func TestRouterHealthz(t *testing.T) {
+	https, nodes := bootNodes(t, 3, nodeCfg(1))
+	rt, rts := bootRouter(t, nodes, nil)
+
+	rt.probeAll()
+	status, body, _ := get(t, rts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz status %d", status)
+	}
+	var doc struct {
+		Status string `json:"status"`
+		Nodes  []struct {
+			Name string `json:"name"`
+			Up   bool   `json:"up"`
+		} `json:"nodes"`
+		Ring struct {
+			Nodes int `json:"nodes"`
+		} `json:"ring"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "ok" || doc.Ring.Nodes != 3 {
+		t.Fatalf("healthz %s with %d ring nodes", doc.Status, doc.Ring.Nodes)
+	}
+
+	// Kill one node: the next probe demotes it and healthz degrades.
+	https[1].CloseClientConnections()
+	https[1].Close()
+	rt.probeAll()
+	status, body, _ = get(t, rts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("degraded healthz status %d (router can still serve)", status)
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "degraded" {
+		t.Fatalf("healthz status %q after node kill, want degraded", doc.Status)
+	}
+	for _, n := range doc.Nodes {
+		if n.Name == "n1" && n.Up {
+			t.Error("killed node still reported up after probe")
+		}
+	}
+	if got := routerMetric(t, rts.URL, `bsrngd_cluster_node_up{node="n1"}`); got != 0 {
+		t.Errorf("node_up gauge %v for killed node", got)
+	}
+
+	// Kill the rest: the router itself goes down (503).
+	https[0].CloseClientConnections()
+	https[0].Close()
+	https[2].CloseClientConnections()
+	https[2].Close()
+	rt.probeAll()
+	status, body, _ = get(t, rts.URL+"/healthz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("all-down healthz status %d, want 503", status)
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "down" {
+		t.Fatalf("healthz status %q, want down", doc.Status)
+	}
+}
+
+// Ring reload: SetRing swaps membership minimally and the rebalance
+// cost shows up on /metrics; ReloadFromFile applies an edited ring file
+// (the SIGHUP path) and rejects a broken one without losing the ring.
+func TestRingReload(t *testing.T) {
+	_, nodes := bootNodes(t, 3, nodeCfg(1))
+
+	path := filepath.Join(t.TempDir(), "ring.json")
+	writeRing := func(ns []Node) {
+		t.Helper()
+		raw, err := json.Marshal(RingConfig{VirtualNodes: 32, SegmentWindow: 1024, Nodes: ns})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeRing(nodes[:2])
+
+	rt, rts := bootRouter(t, nodes[:2], func(c *RouterConfig) { c.RingPath = path })
+	if got := routerMetric(t, rts.URL, "bsrngd_cluster_ring_nodes"); got != 2 {
+		t.Fatalf("ring_nodes %v, want 2", got)
+	}
+
+	writeRing(nodes)
+	if err := rt.ReloadFromFile(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rt.Ring().Nodes()); got != 3 {
+		t.Fatalf("ring has %d nodes after reload, want 3", got)
+	}
+	if got := routerMetric(t, rts.URL, "bsrngd_cluster_ring_reloads_total"); got != 1 {
+		t.Errorf("ring_reloads_total %v, want 1", got)
+	}
+	if got := routerMetric(t, rts.URL, "bsrngd_cluster_rebalance_keys_moved_total"); got == 0 {
+		t.Error("no probe keys moved on a 2→3 node reload")
+	}
+	// The new node takes routed traffic: pooled spread now covers n2.
+	for i := 0; i < 6; i++ {
+		if status, _, _ := get(t, rts.URL+"/bytes?alg=grain&n=64"); status != http.StatusOK {
+			t.Fatalf("post-reload request %d failed", i)
+		}
+	}
+	_, body, _ := get(t, rts.URL+"/metrics")
+	if got := metricValue(t, body, `bsrngd_cluster_forwarded_total{node="n2",endpoint="bytes"}`); got == 0 {
+		t.Error("reloaded-in node n2 received no traffic")
+	}
+
+	// A broken file must not clobber the working ring.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.ReloadFromFile(); err == nil {
+		t.Fatal("broken ring file accepted")
+	}
+	if got := len(rt.Ring().Nodes()); got != 3 {
+		t.Fatalf("ring lost nodes after failed reload: %d", got)
+	}
+
+	// A router without a ring path cannot reload.
+	rt2, _ := bootRouter(t, nodes[:2], nil)
+	if err := rt2.ReloadFromFile(); err == nil {
+		t.Error("ReloadFromFile without RingPath accepted")
+	}
+}
+
+// Invalid requests still produce the serving node's canonical errors
+// through the router (the router never masks a 4xx).
+func TestRouterRelaysNodeErrors(t *testing.T) {
+	_, nodes := bootNodes(t, 2, nodeCfg(1))
+	_, rts := bootRouter(t, nodes, nil)
+
+	status, body, _ := get(t, rts.URL+"/bytes?alg=rot13&n=64")
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad alg status %d, want 400", status)
+	}
+	if !strings.Contains(string(body), "algorithm") {
+		t.Errorf("bad alg body %q", body)
+	}
+	if status, _, _ := get(t, rts.URL+"/stream?lease=!!!"); status != http.StatusBadRequest {
+		t.Errorf("bad lease token status %d, want 400", status)
+	}
+}

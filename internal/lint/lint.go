@@ -55,7 +55,7 @@ type Config struct {
 func DefaultConfig(module string) *Config {
 	datapath := []string{"core", "bitslice", "lfsr", "crc", "mickey", "grain", "trivium", "aes", "xorgens", "chaotic", "health"}
 	cfg := &Config{
-		GoroutinePackages: []string{module + "/internal/server"},
+		GoroutinePackages: []string{module + "/internal/server", module + "/internal/cluster"},
 		FaultinjectPath:   module + "/internal/faultinject",
 		MetricsPath:       module + "/internal/metrics",
 		MetricNamePattern: regexp.MustCompile(`^bsrngd_[a-z0-9_]+$`),

@@ -1,0 +1,162 @@
+package loadtest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+// The cluster acceptance cell: the same deterministic workload driven
+// through a 3-node cluster behind the router completes with zero
+// unintended failures, verifies every window against the library, lands
+// traffic on every node — and produces the exact window digest a
+// single-node run of the same Config produces. The router tier is
+// invisible in the bytes.
+func TestRunClusterMatchesSingleNode(t *testing.T) {
+	cfg := Config{
+		Server:            smallServer(61, core.GRAIN),
+		Cluster:           &ClusterConfig{Nodes: 3},
+		Clients:           6,
+		RequestsPerClient: 6,
+		Verify:            true,
+		Logf:              t.Logf,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "cluster" {
+		t.Errorf("mode %q, want cluster", res.Mode)
+	}
+	if res.NonOK != 0 {
+		t.Errorf("non-OK responses %d (statuses %v)", res.NonOK, res.Statuses)
+	}
+	if res.VerifiedWindows == 0 || res.VerifyMismatches != 0 || res.ZeroRuns != 0 {
+		t.Errorf("verified %d, mismatches %d, zero runs %d",
+			res.VerifiedWindows, res.VerifyMismatches, res.ZeroRuns)
+	}
+	if res.Cluster == nil || res.Cluster.Nodes != 3 {
+		t.Fatalf("cluster report %+v", res.Cluster)
+	}
+	if len(res.PerNode) != 3 {
+		t.Fatalf("per-node distribution %v, want all 3 nodes hit", res.PerNode)
+	}
+	var forwarded int64
+	for node, n := range res.PerNode {
+		if n <= 0 {
+			t.Errorf("node %s forwarded %d requests", node, n)
+		}
+		forwarded += n
+	}
+	if forwarded < res.Requests {
+		t.Errorf("router forwarded %d requests, clients issued %d", forwarded, res.Requests)
+	}
+
+	// The same Config against a single node: identical digest, identical
+	// verified-window count. (Single-algorithm workload — multi-algorithm
+	// lease-domain allocation order differs across topologies.)
+	single := cfg
+	single.Cluster = nil
+	sres, err := Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.WindowDigest != res.WindowDigest {
+		t.Errorf("cluster digest %s != single-node digest %s — the router changed bytes",
+			res.WindowDigest, sres.WindowDigest)
+	}
+	if sres.VerifiedWindows != res.VerifiedWindows {
+		t.Errorf("verified windows drifted: cluster %d, single %d",
+			res.VerifiedWindows, sres.VerifiedWindows)
+	}
+	if sres.PerNode != nil {
+		t.Errorf("single-node run reports a per-node distribution: %v", sres.PerNode)
+	}
+}
+
+// Forward chaos: pulsed injected forward failures force the router
+// through retry/failover under live load, the clients never see them,
+// and a double run — and a calm run — report the identical digest.
+func TestRunClusterForwardChaosDigestIdentical(t *testing.T) {
+	if !faultinject.Available() {
+		t.Skip("faultinject compiled out (bsrng_nofaultinject)")
+	}
+	cfg := Config{
+		Server:            smallServer(71, core.GRAIN),
+		Cluster:           &ClusterConfig{Nodes: 3, ForwardChaos: &ForwardChaosConfig{FailpointSeed: 5, Pulses: 2}},
+		Clients:           4,
+		RequestsPerClient: 6,
+		Verify:            true,
+		Logf:              t.Logf,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NonOK != 0 || res.VerifyMismatches != 0 {
+		t.Errorf("chaos run: %d non-OK, %d mismatches (statuses %v)",
+			res.NonOK, res.VerifyMismatches, res.Statuses)
+	}
+	if res.Cluster == nil {
+		t.Fatal("no cluster report")
+	}
+	if res.Cluster.ForwardPulses != 2 {
+		t.Errorf("forward pulses %d, want 2", res.Cluster.ForwardPulses)
+	}
+	if res.Cluster.Retries < 2 || res.Cluster.ForwardFailures < 2 {
+		t.Errorf("router absorbed %v retries / %v forward failures, want >= 2 each",
+			res.Cluster.Retries, res.Cluster.ForwardFailures)
+	}
+
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.WindowDigest != res.WindowDigest {
+		t.Errorf("chaos double run digest drifted: %s vs %s", res.WindowDigest, res2.WindowDigest)
+	}
+
+	calm := cfg
+	calm.Cluster = &ClusterConfig{Nodes: 3}
+	cres, err := Run(calm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.WindowDigest != res.WindowDigest {
+		t.Errorf("chaos digest %s != calm digest %s — injected faults changed bytes",
+			res.WindowDigest, cres.WindowDigest)
+	}
+}
+
+func TestRunClusterConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"dial mode", Config{BaseURL: "http://127.0.0.1:1", Cluster: &ClusterConfig{}}, "boot mode"},
+		{"with segment chaos", Config{Chaos: &ChaosConfig{}, Cluster: &ClusterConfig{}}, "ForwardChaos"},
+		{"negative nodes", Config{Cluster: &ClusterConfig{Nodes: -2}}, "out of range"},
+	}
+	for _, tc := range cases {
+		_, err := Run(tc.cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseNodeSample(t *testing.T) {
+	node, v, ok := parseNodeSample(`{node="n1",endpoint="bytes"} 12`)
+	if !ok || node != "n1" || v != 12 {
+		t.Errorf("parsed (%q, %d, %v)", node, v, ok)
+	}
+	if _, _, ok := parseNodeSample(`{endpoint="bytes"} 12`); ok {
+		t.Error("sample without node label parsed")
+	}
+	if _, _, ok := parseNodeSample(`{node="n1"}`); ok {
+		t.Error("sample without value parsed")
+	}
+}

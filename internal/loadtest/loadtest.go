@@ -109,6 +109,12 @@ type Config struct {
 	Tolerate503 bool
 	// Chaos, when non-nil, drives fault-injection cycles during the run.
 	Chaos *ChaosConfig
+	// Cluster, when non-nil, boots an N-node cluster behind an
+	// in-process consistent-hash router (internal/cluster) and drives
+	// the whole workload through the router. Boot mode only, and
+	// mutually exclusive with Chaos (whose driver polls a single node's
+	// pool healthz).
+	Cluster *ClusterConfig
 	// Logf receives progress lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -147,6 +153,12 @@ type Result struct {
 	// restarts and lane widths.
 	WindowDigest string       `json:"window_digest"`
 	Chaos        *ChaosReport `json:"chaos,omitempty"`
+	// PerNode is the router's forwarded-request distribution by node
+	// (from bsrngd_cluster_forwarded_total) — cluster mode, or dial mode
+	// against a router.
+	PerNode map[string]int64 `json:"per_node,omitempty"`
+	// Cluster accounts the router tier of a cluster run.
+	Cluster *ClusterReport `json:"cluster,omitempty"`
 }
 
 // ChaosReport accounts the fault-injection cycles of a chaos run.
@@ -244,6 +256,28 @@ func Run(cfg Config) (*Result, error) {
 			cfg.Chaos.PhaseTimeout = 30 * time.Second
 		}
 	}
+	if cfg.Cluster != nil {
+		if cfg.Chaos != nil {
+			return nil, fmt.Errorf("loadtest: segment chaos drives a single node's pool healthz; use Cluster.ForwardChaos against a cluster")
+		}
+		if cfg.Cluster.Nodes == 0 {
+			cfg.Cluster.Nodes = 3
+		}
+		if cfg.Cluster.Nodes < 1 {
+			return nil, fmt.Errorf("loadtest: cluster nodes %d out of range", cfg.Cluster.Nodes)
+		}
+		if fc := cfg.Cluster.ForwardChaos; fc != nil {
+			if fc.Window == 0 {
+				fc.Window = 8
+			}
+			if fc.Pulses == 0 {
+				fc.Pulses = 4
+			}
+			if fc.PulseTimeout == 0 {
+				fc.PulseTimeout = 30 * time.Second
+			}
+		}
+	}
 
 	r := &runner{
 		cfg:      cfg,
@@ -253,7 +287,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	mode := "dial"
-	if cfg.BaseURL == "" {
+	if cfg.BaseURL == "" && cfg.Cluster != nil {
+		mode = "cluster"
+		shutdown, err := r.bootCluster()
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+	} else if cfg.BaseURL == "" {
 		mode = "boot"
 		srv, err := server.New(cfg.Server)
 		if err != nil {
@@ -277,6 +318,9 @@ func Run(cfg Config) (*Result, error) {
 	} else {
 		if cfg.Chaos != nil {
 			return nil, fmt.Errorf("loadtest: chaos requires boot mode (failpoints are process-local)")
+		}
+		if cfg.Cluster != nil {
+			return nil, fmt.Errorf("loadtest: cluster topology requires boot mode (use BaseURL to dial an external router)")
 		}
 		r.base = cfg.BaseURL
 	}
@@ -315,10 +359,18 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Chaos != nil {
 		chaosRep, chaosErr = r.runChaos()
 	}
+	var fcPulses int
+	var fcErr error
+	if cfg.Cluster != nil && cfg.Cluster.ForwardChaos != nil {
+		fcPulses, fcErr = r.runForwardChaos()
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	if chaosErr != nil {
 		return nil, chaosErr
+	}
+	if fcErr != nil {
+		return nil, fcErr
 	}
 
 	res := &Result{
@@ -344,6 +396,12 @@ func Run(cfg Config) (*Result, error) {
 	for shape, h := range r.hists {
 		res.Latency[shape] = h.summary()
 	}
+	if cfg.Cluster != nil {
+		res.Cluster = r.clusterReport(fcPulses)
+	}
+	// The per-node distribution materializes whenever the dialed base is
+	// a router (always in cluster mode); against a plain node it is nil.
+	res.PerNode = r.perNode()
 	cfg.Logf("loadtest: %d requests, %d non-OK, %.1f MB/s, digest %s",
 		res.Requests, res.NonOK, res.ThroughputMBps, res.WindowDigest[:16])
 	return res, nil

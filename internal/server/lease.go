@@ -52,6 +52,31 @@ type lease struct {
 	Segments     uint64
 }
 
+// Lease is the exported view of a decoded lease token. Tokens are pure
+// capabilities over the deterministic (alg, domain, segment) address
+// space — no server state — so any tier holding a token can derive
+// where its window lives; internal/cluster's router uses this to route
+// lease traffic to the owning node.
+type Lease struct {
+	Alg          core.Algorithm
+	Domain       uint64
+	StartSegment uint64
+	Segments     uint64
+}
+
+// Bytes is the lease window size in bytes.
+func (l Lease) Bytes() uint64 { return l.Segments * core.SegmentBytes }
+
+// DecodeLeaseToken parses and validates a lease token without touching
+// any server: the inverse of the encoding POST /lease hands out.
+func DecodeLeaseToken(id string) (Lease, error) {
+	l, err := decodeLease(id)
+	if err != nil {
+		return Lease{}, err
+	}
+	return Lease{Alg: l.Alg, Domain: l.Domain, StartSegment: l.StartSegment, Segments: l.Segments}, nil
+}
+
 // bytes is the lease window size.
 func (l lease) bytes() uint64 { return l.Segments * core.SegmentBytes }
 
