@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet lint build test race bench-smoke bench bench-compare certify certify-smoke loadtest loadtest-cluster fuzz fuzz-corpus fmt serve cover nofaultinject
+.PHONY: verify fmt-check vet lint lint-test escape-gate build test race bench-smoke bench bench-compare certify certify-smoke loadtest loadtest-cluster fuzz fuzz-corpus fmt serve cover nofaultinject
 
-verify: fmt-check vet lint build test race certify-smoke loadtest loadtest-cluster bench-smoke
+verify: fmt-check vet lint lint-test escape-gate build test race certify-smoke loadtest loadtest-cluster bench-smoke
 	@echo "verify: all checks passed"
 
 fmt-check:
@@ -22,6 +22,18 @@ vet:
 # DESIGN.md §9.
 lint:
 	$(GO) run ./cmd/bsrnglint ./...
+
+# The analyzer suite's own tests, run without -short so the golden
+# fixtures and the module-wide TestRepoIsClean/TestRunCleanTree gates
+# can never be skipped (other test runs may use -short).
+lint-test:
+	$(GO) test ./internal/lint ./cmd/bsrnglint
+
+# Compiler-assisted allocation gate (DESIGN.md §14): every heap-escape
+# diagnostic in a hot-path function must carry a reasoned waiver in the
+# committed .escapeallow file.
+escape-gate:
+	$(GO) run ./cmd/escapecheck
 
 build:
 	$(GO) build ./...
@@ -105,7 +117,7 @@ fuzz:
 COVER_FLOOR ?= 85.0
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
-	@for pkg in internal/health internal/faultinject internal/lint internal/certify internal/loadtest internal/cluster cmd/nist cmd/certify cmd/loadgen; do \
+	@for pkg in internal/health internal/faultinject internal/lint internal/certify internal/loadtest internal/cluster cmd/nist cmd/certify cmd/loadgen cmd/escapecheck; do \
 		{ head -n 1 coverage.out; grep "^repro/$$pkg/" coverage.out; } > coverage.pkg.out; \
 		pct="$$($(GO) tool cover -func=coverage.pkg.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }')"; \
 		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \

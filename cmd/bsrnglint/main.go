@@ -3,13 +3,17 @@
 //
 //	file:line: [rule] message
 //
-// It exits 0 when the tree is clean, 1 on findings, and 2 when the
-// module cannot be loaded. Package patterns on the command line (e.g.
-// ./...) are accepted for familiarity but the suite always analyzes the
-// whole module — every analyzer is a module-wide property.
+// With -json it instead emits a machine-readable array of findings
+// ({"file","line","rule","message"}), for CI problem matchers and other
+// tooling. It exits 0 when the tree is clean, 1 on findings, and 2 when
+// the module cannot be loaded. Package patterns on the command line
+// (e.g. ./...) are accepted for familiarity but the suite always
+// analyzes the whole module — every analyzer is a module-wide property.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -19,10 +23,20 @@ import (
 )
 
 func main() {
-	os.Exit(run(".", os.Stdout, os.Stderr))
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line lines")
+	flag.Parse()
+	os.Exit(run(".", *jsonOut, os.Stdout, os.Stderr))
 }
 
-func run(dir string, out, errw io.Writer) int {
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func run(dir string, jsonOut bool, out, errw io.Writer) int {
 	root, modPath, err := lint.FindModule(dir)
 	if err != nil {
 		fmt.Fprintln(errw, "bsrnglint:", err)
@@ -34,8 +48,26 @@ func run(dir string, out, errw io.Writer) int {
 		return 2
 	}
 	diags := lint.Run(m, lint.DefaultConfig(modPath), lint.Analyzers)
-	for _, d := range diags {
-		fmt.Fprintf(out, "%s:%d: %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d)
+	if jsonOut {
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, finding{
+				File:    relPath(root, d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Rule:    d.Rule,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(errw, "bsrnglint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s:%d: %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(errw, "bsrnglint: %d finding(s)\n", len(diags))

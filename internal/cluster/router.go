@@ -52,6 +52,12 @@ type Router struct {
 	mu    sync.Mutex // guards states map mutation (reload adds nodes)
 	state map[string]*nodeState
 
+	// baseCtx is the root of every router-originated request (health
+	// probes); baseCancel aborts them all on Close, so a probe stuck in
+	// a slow dial cannot delay shutdown by its full timeout.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	probes   sync.WaitGroup
@@ -139,6 +145,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		stop:      make(chan struct{}),
 		transport: cfg.Transport,
 	}
+	rt.baseCtx, rt.baseCancel = context.WithCancel(context.Background())
 	if rt.transport == nil {
 		rt.transport = &http.Transport{
 			DialContext:           (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
@@ -200,9 +207,13 @@ func (rt *Router) Start() {
 	go rt.probeLoop()
 }
 
-// Close stops the prober. Idempotent.
+// Close stops the prober, cancelling any probe already in flight.
+// Idempotent.
 func (rt *Router) Close() {
-	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.stopOnce.Do(func() {
+		close(rt.stop)
+		rt.baseCancel()
+	})
 	rt.probes.Wait()
 }
 
@@ -304,7 +315,7 @@ func (rt *Router) probeLoop() {
 // last-resort candidate until it recovers.
 func (rt *Router) probeAll() {
 	for _, n := range rt.ring.Load().Nodes() {
-		ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+		ctx, cancel := context.WithTimeout(rt.baseCtx, rt.cfg.ProbeTimeout)
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+"/healthz", http.NoBody)
 		if err != nil {
 			cancel()

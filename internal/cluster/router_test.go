@@ -457,3 +457,47 @@ func TestRouterRelaysNodeErrors(t *testing.T) {
 		t.Errorf("bad lease token status %d, want 400", status)
 	}
 }
+
+// blockingTransport parks every probe until its request context is
+// cancelled, so the test below can prove Close aborts in-flight probes.
+type blockingTransport struct{ entered chan struct{} }
+
+func (bt *blockingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	select {
+	case bt.entered <- struct{}{}:
+	default:
+	}
+	<-r.Context().Done()
+	return nil, r.Context().Err()
+}
+
+// TestCloseCancelsInflightProbe is the regression test for the probe
+// context fix (flagged by the context-propagation analyzer): probes
+// used to root their context in context.Background(), so a probe stuck
+// in a slow dial could delay Close by the full ProbeTimeout. Probes now
+// derive from the router's base context, which Close cancels.
+func TestCloseCancelsInflightProbe(t *testing.T) {
+	_, nodes := bootNodes(t, 1, nodeCfg(1))
+	bt := &blockingTransport{entered: make(chan struct{}, 1)}
+	rt, _ := bootRouter(t, nodes, func(cfg *RouterConfig) {
+		cfg.ProbeInterval = time.Millisecond
+		cfg.ProbeTimeout = time.Minute // only cancellation can unblock
+		cfg.Transport = bt
+	})
+	rt.Start()
+	select {
+	case <-bt.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("prober never issued a probe")
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not cancel the in-flight probe (stuck behind ProbeTimeout)")
+	}
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BoundedRetry bans unbounded network retry loops in the cluster layer
+// (DESIGN.md §13): forwarding retries walk the ring's candidate list
+// under the per-request retry budget, so every loop that initiates
+// network I/O must either carry a loop condition (the budget / the
+// candidate list) or gate each iteration on a select (the prober's
+// stop-channel pattern). A condition-less for{} that dials or sends
+// requests retries forever on a dead peer — exactly the stampede the
+// retry budget exists to prevent. Network calls are found transitively
+// through same-package callees, so hiding the http.Do in a helper does
+// not hide the loop.
+var BoundedRetry = &Analyzer{
+	Name: "bounded-retry",
+	Doc:  "loops doing network I/O are bounded by a condition or gated by a select",
+	Run:  runBoundedRetry,
+}
+
+func runBoundedRetry(m *Module, cfg *Config, report func(token.Pos, string, ...any)) {
+	for _, pkg := range m.Packages {
+		if !matchesAny(cfg.RetryPackages, pkg.ImportPath) {
+			continue
+		}
+		decls := map[*types.Func]*ast.FuncDecl{}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						decls[fn] = fd
+					}
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok || loop.Cond != nil {
+					return true
+				}
+				if containsSelect(loop.Body) {
+					return true
+				}
+				visited := map[*types.Func]bool{}
+				if call := firstNetCall(pkg, loop.Body, decls, visited); call != nil {
+					report(loop.Pos(), "unbounded for loop initiates network I/O (%s) — bound it by the retry budget or the ring-walk candidate list, or gate each iteration on a select", call.FullName())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// containsSelect reports a select statement in the loop body itself
+// (not inside nested function literals) — the stop-channel pattern that
+// makes a condition-less loop cancellable and paced.
+func containsSelect(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// firstNetCall finds a network-initiating call in the body, following
+// same-package callees transitively.
+func firstNetCall(pkg *Package, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl, visited map[*types.Func]bool) *types.Func {
+	var hit *types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil || visited[fn] {
+			return true
+		}
+		visited[fn] = true
+		if isNetInitiator(fn) {
+			hit = fn
+			return false
+		}
+		if fd, ok := decls[fn]; ok {
+			if h := firstNetCall(pkg, fd.Body, decls, visited); h != nil {
+				hit = h
+				return false
+			}
+		}
+		return true
+	})
+	return hit
+}
+
+// netInitiators are the stdlib entry points that open a connection or
+// send a request. Reads on an already-open body/conn deliberately do
+// not count: a streaming relay loop is not a retry.
+var netInitiators = map[string]bool{
+	"Do": true, "Get": true, "Head": true, "Post": true, "PostForm": true,
+	"Dial": true, "DialContext": true, "DialTimeout": true, "RoundTrip": true,
+}
+
+// isNetInitiator reports whether fn is a net/http or net call that
+// initiates network I/O.
+func isNetInitiator(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || (pkg.Path() != "net/http" && pkg.Path() != "net") {
+		return false
+	}
+	return netInitiators[fn.Name()]
+}

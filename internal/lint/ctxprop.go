@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ContextPropagation keeps request paths in the serving and cluster
+// layers cancellable end to end: a function that receives a
+// context.Context (or an *http.Request carrying one) must derive every
+// child context from it, so `context.Background()` and `context.TODO()`
+// are banned there outright. Elsewhere in the configured packages the
+// only legitimate fresh roots are constructors (New*), main and init —
+// a Background() anywhere else detaches that code path from Shutdown
+// and from per-request deadlines, which is how the router's probe
+// requests ended up unkillable. Every other way of dropping a context
+// (passing Background to a ctx-accepting callee instead of the caller's
+// ctx) necessarily calls one of the two constructors and is caught at
+// that call.
+var ContextPropagation = &Analyzer{
+	Name: "context-propagation",
+	Doc:  "request paths thread the caller's context; Background/TODO only in constructors",
+	Run:  runContextPropagation,
+}
+
+func runContextPropagation(m *Module, cfg *Config, report func(token.Pos, string, ...any)) {
+	for _, pkg := range m.Packages {
+		if !matchesAny(cfg.ContextPackages, pkg.ImportPath) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				hasCtx := receivesContext(pkg, fd)
+				exempt := !hasCtx && isFreshRootScope(fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(pkg.Info, call)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+						return true
+					}
+					if fn.Name() != "Background" && fn.Name() != "TODO" {
+						return true
+					}
+					switch {
+					case hasCtx:
+						report(call.Pos(), "context.%s() inside a function that already receives a context — derive from the caller's context so cancellation propagates", fn.Name())
+					case !exempt:
+						report(call.Pos(), "context.%s() in a request path — thread a caller-provided context (fresh roots belong in constructors, main or init)", fn.Name())
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// receivesContext reports whether the function is handed a context:
+// a context.Context parameter, or an *http.Request (whose Context()
+// is the request context).
+func receivesContext(pkg *Package, fd *ast.FuncDecl) bool {
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := fn.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if isNamedType(params.At(i).Type(), "context", "Context") ||
+			isNamedType(params.At(i).Type(), "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// isFreshRootScope reports the functions allowed to create root
+// contexts: constructors, main and init.
+func isFreshRootScope(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
+		name == "main" || name == "init"
+}
+
+// isNamedType reports whether t (after deref) is the named type
+// pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

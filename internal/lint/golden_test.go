@@ -7,7 +7,17 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+)
+
+// The fixture module is loaded once per test binary: the handler and
+// retry fixtures pull net/http through the source importer, which is
+// too slow to repeat per test. Analyzers never mutate the module.
+var (
+	fixtureOnce sync.Once
+	fixtureMod  *Module
+	fixtureErr  error
 )
 
 // loadFixture loads the fixture module under testdata with the real
@@ -15,20 +25,29 @@ import (
 // production faultinject and metrics registries.
 func loadFixture(t *testing.T) (*Module, *Config) {
 	t.Helper()
-	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
-	if err != nil {
-		t.Fatal(err)
-	}
-	m, err := Load("fixture", map[string]string{
-		"fixture": filepath.Join("testdata", "src", "fixture"),
-		"repro":   repoRoot,
+	fixtureOnce.Do(func() {
+		repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		fixtureMod, fixtureErr = Load("fixture", map[string]string{
+			"fixture": filepath.Join("testdata", "src", "fixture"),
+			"repro":   repoRoot,
+		})
 	})
-	if err != nil {
-		t.Fatalf("loading fixture module: %v", err)
+	if fixtureErr != nil {
+		t.Fatalf("loading fixture module: %v", fixtureErr)
 	}
+	m := fixtureMod
 	cfg := DefaultConfig("repro")
 	cfg.DatapathPackages = []string{"fixture/determ"}
 	cfg.GoroutinePackages = []string{"fixture/gohyg"}
+	cfg.ZeroCopyPackages = []string{"fixture/chunkalias"}
+	cfg.ImmutableTypes = []string{"fixture/ringimm.Ring"}
+	cfg.ContextPackages = []string{"fixture/ctxprop"}
+	cfg.HandlerPackages = []string{"fixture/handlerhyg"}
+	cfg.RetryPackages = []string{"fixture/retry"}
 	return m, cfg
 }
 

@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// HandlerHygiene enforces the response-writing discipline on every
+// HTTP handler and response-writing helper in the configured packages
+// (DESIGN.md §7): the status line is written at most once per path,
+// nothing is written after a failure status helper (the error body is
+// the last thing a failing handler sends, followed by return), and raw
+// failure statuses carry a body produced by the error convention — the
+// http.Error text body or the JSON error document (an Encode call in
+// the same function, the /healthz convention).
+//
+// Paths are approximated by statement lists: two status writes in one
+// list with no return/branch between them is a double header no matter
+// what the conditions around them say; writes in sibling branches are
+// distinct paths and legal.
+var HandlerHygiene = &Analyzer{
+	Name: "handler-hygiene",
+	Doc:  "one WriteHeader per path, no writes after a failure status, errors use the error-body convention",
+	Run:  runHandlerHygiene,
+}
+
+// rwFacts classifies a response-writing helper: does it (transitively)
+// write a status, and is that status a failure (http.Error or a
+// constant >= 400)?
+type rwFacts struct {
+	status  bool
+	failure bool
+}
+
+func runHandlerHygiene(m *Module, cfg *Config, report func(token.Pos, string, ...any)) {
+	for _, pkg := range m.Packages {
+		if !matchesAny(cfg.HandlerPackages, pkg.ImportPath) {
+			continue
+		}
+		decls := map[*types.Func]*ast.FuncDecl{}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						decls[fn] = fd
+					}
+				}
+			}
+		}
+		facts := statusWriterFacts(pkg, decls)
+		for fn, fd := range decls {
+			if hasResponseWriterParam(fn.Type().(*types.Signature)) {
+				checkResponseFunc(pkg, fd.Body, facts, report)
+			}
+		}
+		// Handlers built as closures (the router's proxy handler) are
+		// response-writing functions too.
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if tv, ok := pkg.Info.Types[lit]; ok {
+					if sig, ok := tv.Type.(*types.Signature); ok && hasResponseWriterParam(sig) {
+						checkResponseFunc(pkg, lit.Body, facts, report)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// statusWriterFacts computes, to a fixpoint, which package functions
+// with an http.ResponseWriter parameter write a response status
+// (directly or through same-package helpers), and which of those write
+// a failure status.
+func statusWriterFacts(pkg *Package, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]*rwFacts {
+	facts := map[*types.Func]*rwFacts{}
+	for fn := range decls {
+		if hasResponseWriterParam(fn.Type().(*types.Signature)) {
+			facts[fn] = &rwFacts{}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, f := range facts {
+			ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				merge := func(status, failure bool) {
+					if status && !f.status {
+						f.status, changed = true, true
+					}
+					if failure && !f.failure {
+						f.failure, changed = true, true
+					}
+				}
+				callee := calleeFunc(pkg.Info, call)
+				switch {
+				case isWriteHeaderCall(pkg.Info, call):
+					code := constStatusArg(pkg.Info, call.Args)
+					merge(true, code >= 400)
+				case callee != nil && callee.FullName() == "net/http.Error":
+					merge(true, true)
+				case callee != nil:
+					if h, ok := facts[callee]; ok {
+						merge(h.status, h.failure)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return facts
+}
+
+// statusStmt is one top-of-list statement that writes a response status.
+type statusStmt struct {
+	pos     token.Pos
+	name    string
+	failure bool // http.Error or a failure helper: must be final + return
+	raw     bool // a direct WriteHeader call
+	code    int  // constant status, -1 unknown
+}
+
+// checkResponseFunc applies the three per-path rules to one function
+// body. Nested function literals are separate response paths and are
+// checked on their own (when they take a ResponseWriter).
+func checkResponseFunc(pkg *Package, body *ast.BlockStmt, facts map[*types.Func]*rwFacts, report func(token.Pos, string, ...any)) {
+	hasEncode := containsEncodeCall(pkg, body)
+	var walkList func(stmts []ast.Stmt)
+	var walkStmt func(s ast.Stmt)
+	walkList = func(stmts []ast.Stmt) {
+		var prev *statusStmt
+		for _, s := range stmts {
+			switch s.(type) {
+			case *ast.ReturnStmt, *ast.BranchStmt:
+				prev = nil
+				continue
+			}
+			if st := classifyStatusStmt(pkg, s, facts); st != nil {
+				if prev != nil {
+					report(st.pos, "%s writes a second response status on this path — WriteHeader must be reached at most once", st.name)
+				}
+				if st.raw && st.code >= 400 && !hasEncode {
+					report(st.pos, "raw WriteHeader(%d) without an error body — use http.Error or the JSON error-document convention", st.code)
+				}
+				prev = st
+				continue
+			}
+			if prev != nil && prev.failure {
+				report(s.Pos(), "handler keeps writing after %s set a failure status — send the error body and return", prev.name)
+				prev.failure = false // one report per failure site
+			}
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s ast.Stmt) {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.BlockStmt:
+				walkList(x.List)
+				return false
+			case *ast.CaseClause:
+				walkList(x.Body)
+				return false
+			case *ast.CommClause:
+				walkList(x.Body)
+				return false
+			}
+			return true
+		})
+	}
+	walkList(body.List)
+}
+
+// classifyStatusStmt recognizes a statement that writes the response
+// status: a WriteHeader call, http.Error, or a same-package helper the
+// facts map knows writes a status.
+func classifyStatusStmt(pkg *Package, s ast.Stmt, facts map[*types.Func]*rwFacts) *statusStmt {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if isWriteHeaderCall(pkg.Info, call) {
+		return &statusStmt{pos: call.Pos(), name: "WriteHeader", raw: true,
+			code: constStatusArg(pkg.Info, call.Args)}
+	}
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if fn.FullName() == "net/http.Error" {
+		return &statusStmt{pos: call.Pos(), name: "http.Error", failure: true,
+			code: constStatusArg(pkg.Info, call.Args)}
+	}
+	if f, ok := facts[fn]; ok && f.status {
+		return &statusStmt{pos: call.Pos(), name: fn.Name(), failure: f.failure, code: -1}
+	}
+	return nil
+}
+
+// isWriteHeaderCall matches a method call named WriteHeader with one
+// argument — the http.ResponseWriter status write (wrapped response
+// writers keep the name, so the match is nominal on purpose).
+func isWriteHeaderCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Type().(*types.Signature).Recv() != nil
+}
+
+// constStatusArg extracts the first constant int argument that looks
+// like an HTTP status code; -1 when none is constant.
+func constStatusArg(info *types.Info, args []ast.Expr) int {
+	for _, a := range args {
+		if tv, ok := info.Types[a]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+			if v, ok := constant.Int64Val(tv.Value); ok && v >= 100 && v <= 599 {
+				return int(v)
+			}
+		}
+	}
+	return -1
+}
+
+// containsEncodeCall reports whether the body calls a method named
+// Encode — the JSON error-document convention (enc.Encode(doc) after a
+// WriteHeader, as /healthz does).
+func containsEncodeCall(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Encode" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasResponseWriterParam reports whether the signature takes an
+// http.ResponseWriter.
+func hasResponseWriterParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isNamedType(params.At(i).Type(), "net/http", "ResponseWriter") {
+			return true
+		}
+	}
+	return false
+}

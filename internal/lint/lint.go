@@ -48,6 +48,30 @@ type Config struct {
 	// MetricNamePattern is the shape every registered metric name must
 	// match.
 	MetricNamePattern *regexp.Regexp
+	// ZeroCopyPackages are the import paths participating in the
+	// zero-copy chunk handoff: slices obtained from a NextChunk call
+	// and io.Writer Write parameters must not be retained past the
+	// call (stored to a field, a global, a channel, or captured by a
+	// goroutine).
+	ZeroCopyPackages []string
+	// ImmutableTypes are fully qualified type names ("pkgpath.Type")
+	// whose fields and backing slices/maps may only be written inside
+	// the file that declares the type (the constructor file).
+	ImmutableTypes []string
+	// ContextPackages are the import paths where request paths must
+	// thread the caller's context.Context: context.Background() and
+	// context.TODO() are banned outside constructors and main/init.
+	ContextPackages []string
+	// HandlerPackages are the import paths whose HTTP handlers are held
+	// to the response-writing discipline (one WriteHeader per path, no
+	// body after a failure status, errors through the error-body
+	// convention).
+	HandlerPackages []string
+	// RetryPackages are the import paths where an unbounded loop must
+	// not perform network I/O: retries are bounded by the retry budget
+	// or the ring-walk candidate list, and long-lived loops gate each
+	// iteration on a select.
+	RetryPackages []string
 }
 
 // DefaultConfig returns the production configuration for the module at
@@ -59,6 +83,11 @@ func DefaultConfig(module string) *Config {
 		FaultinjectPath:   module + "/internal/faultinject",
 		MetricsPath:       module + "/internal/metrics",
 		MetricNamePattern: regexp.MustCompile(`^bsrngd_[a-z0-9_]+$`),
+		ZeroCopyPackages:  []string{module + "/internal/core", module + "/internal/server", module + "/internal/cluster"},
+		ImmutableTypes:    []string{module + "/internal/cluster.Ring"},
+		ContextPackages:   []string{module + "/internal/server", module + "/internal/cluster"},
+		HandlerPackages:   []string{module + "/internal/server", module + "/internal/cluster"},
+		RetryPackages:     []string{module + "/internal/cluster"},
 	}
 	for _, p := range datapath {
 		cfg.DatapathPackages = append(cfg.DatapathPackages, module+"/internal/"+p)
@@ -81,6 +110,11 @@ var Analyzers = []*Analyzer{
 	AtomicMix,
 	GoroutineHygiene,
 	ErrorConventions,
+	ChunkAliasing,
+	RingImmutability,
+	ContextPropagation,
+	HandlerHygiene,
+	BoundedRetry,
 }
 
 // IgnoreDirective is the comment prefix that suppresses a diagnostic on

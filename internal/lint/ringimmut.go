@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// RingImmutability pins the cluster routing invariant (DESIGN.md §13):
+// a consistent-hash Ring is immutable after construction — reload swaps
+// a whole new Ring via an atomic pointer, it never edits one in place.
+// The analyzer takes a list of qualified type names and reports every
+// write to such a type's fields — or through them into backing slices
+// and maps — outside the file that declares the type (the constructor
+// file). One level of local aliasing is followed: a local bound to a
+// field of the type is treated as a window into the same backing store.
+var RingImmutability = &Analyzer{
+	Name: "ring-immutability",
+	Doc:  "configured types are never mutated outside their declaring file",
+	Run:  runRingImmutability,
+}
+
+// immutTarget is one resolved ImmutableTypes entry.
+type immutTarget struct {
+	obj  *types.TypeName
+	file string // declaring (constructor) file, exempt from the rule
+}
+
+func runRingImmutability(m *Module, cfg *Config, report func(token.Pos, string, ...any)) {
+	// Resolve the configured qualified names to type objects and their
+	// declaring files. Unresolvable entries are skipped: the config may
+	// name a package outside the loaded module (e.g. the production
+	// default while linting a fixture tree).
+	var targets []*immutTarget
+	for _, qual := range cfg.ImmutableTypes {
+		dot := strings.LastIndex(qual, ".")
+		if dot < 0 {
+			continue
+		}
+		pkgPath, typeName := qual[:dot], qual[dot+1:]
+		for _, p := range m.Packages {
+			if p.ImportPath != pkgPath {
+				continue
+			}
+			if tn, ok := p.Types.Scope().Lookup(typeName).(*types.TypeName); ok {
+				targets = append(targets, &immutTarget{obj: tn, file: m.Fset.Position(tn.Pos()).Filename})
+			}
+			break
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	isTarget := func(t types.Type) *immutTarget {
+		named, ok := derefType(t).(*types.Named)
+		if !ok {
+			return nil
+		}
+		for _, tgt := range targets {
+			if named.Obj() == tgt.obj {
+				return tgt
+			}
+		}
+		return nil
+	}
+
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			fname := m.Fset.Position(f.Pos()).Filename
+			// One level of alias tracking per file: locals bound to a
+			// field selection of a target type alias its backing store.
+			aliases := map[*types.Var]*immutTarget{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if v := localVar(pkg.Info, id); v != nil {
+						if tgt := fieldOfTarget(pkg, as.Rhs[i], isTarget); tgt != nil {
+							aliases[v] = tgt
+						}
+					}
+				}
+				return true
+			})
+			check := func(lhs ast.Expr, pos token.Pos) {
+				tgt, via := mutationTarget(pkg, lhs, isTarget, aliases)
+				if tgt == nil || fname == tgt.file {
+					return
+				}
+				name := tgt.obj.Name()
+				if via != "" {
+					report(pos, "%s is immutable after construction — this writes its backing store through local alias %q outside %s", name, via, filepath.Base(tgt.file))
+				} else {
+					report(pos, "%s is immutable after construction — build a replacement %s instead of writing to it outside %s", name, name, filepath.Base(tgt.file))
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						check(lhs, x.Pos())
+					}
+				case *ast.IncDecStmt:
+					check(x.X, x.Pos())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// mutationTarget resolves an assignment target to the immutable type it
+// mutates, walking down index/star/paren/selector chains. Rebinding a
+// plain alias variable itself is not a mutation; writing through it
+// (an element or field of it) is, reported with via naming the alias.
+func mutationTarget(pkg *Package, lhs ast.Expr, isTarget func(types.Type) *immutTarget, aliases map[*types.Var]*immutTarget) (tgt *immutTarget, via string) {
+	indirected := false // true once we step through an index/field/deref
+	for {
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if tgt := isTarget(sel.Recv()); tgt != nil {
+					return tgt, ""
+				}
+			}
+			indirected = true
+			lhs = x.X
+		case *ast.IndexExpr:
+			indirected = true
+			lhs = x.X
+		case *ast.StarExpr:
+			indirected = true
+			lhs = x.X
+		case *ast.Ident:
+			if !indirected {
+				return nil, "" // plain rebinding of a local
+			}
+			if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+				if tgt := aliases[v]; tgt != nil {
+					return tgt, x.Name
+				}
+			}
+			return nil, ""
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// fieldOfTarget reports whether the expression is rooted at a field
+// selection of a target type (possibly sliced or indexed), returning
+// the target it aliases.
+func fieldOfTarget(pkg *Package, e ast.Expr, isTarget func(types.Type) *immutTarget) *immutTarget {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if tgt := isTarget(sel.Recv()); tgt != nil {
+					return tgt
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// derefType unwraps pointers.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestLoadSyntaxError pins the loader-failure path the new analyzers
+// sit behind: a module that does not even parse reports the parse
+// error instead of panicking or half-loading. The fixture is committed
+// as bad.go.src (an unparseable .go would trip the repo's gofmt gate)
+// and materialized as Go source here.
+func TestLoadSyntaxError(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "badsyntax", "bad.go.src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load("badsyntax", map[string]string{"badsyntax": dir})
+	if err == nil {
+		t.Fatal("loading a package with a syntax error succeeded")
+	}
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("error %q does not name the unparseable file", err)
+	}
+}
+
+// TestMissingConfigTargets pins that the target-anchored analyzers
+// tolerate configuration naming packages or types that are not in the
+// loaded module: they must go quiet, not panic — the production
+// DefaultConfig is applied verbatim to fixture trees and to forks that
+// renamed packages.
+func TestMissingConfigTargets(t *testing.T) {
+	m, _ := loadFixture(t)
+	cfg := &Config{
+		MetricNamePattern: regexp.MustCompile(`^x$`),
+		ZeroCopyPackages:  []string{"nosuch/pkg"},
+		ImmutableTypes:    []string{"nosuch/pkg.Ring", "fixture/ringimm.NoSuchType", "malformed-no-dot"},
+		ContextPackages:   []string{"nosuch/pkg"},
+		HandlerPackages:   []string{"nosuch/pkg"},
+		RetryPackages:     []string{"nosuch/pkg"},
+	}
+	for _, a := range []*Analyzer{ChunkAliasing, RingImmutability, ContextPropagation, HandlerHygiene, BoundedRetry} {
+		for _, d := range Run(m, cfg, []*Analyzer{a}) {
+			if d.Rule == a.Name {
+				t.Errorf("%s fired with config targets missing from the module: %s", a.Name, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package ctxprop exercises the context-propagation analyzer: request
+// paths must thread the caller's context; fresh context roots belong in
+// constructors, main and init only.
+package ctxprop
+
+import (
+	"context"
+	"time"
+)
+
+type prober struct {
+	base context.Context
+}
+
+// NewProber is a constructor: rooting a fresh context here is the
+// sanctioned pattern (cancelled by Close, not leaked per call).
+func NewProber() *prober {
+	return &prober{base: context.Background()}
+}
+
+// probeAll mirrors the router bug this rule caught: a background
+// helper rooting its own context instead of deriving from the one its
+// owner carries — unkillable by Shutdown.
+func (p *prober) probeAll(timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout) // want `\[context-propagation\] context.Background\(\) in a request path`
+	defer cancel()
+	_ = ctx
+}
+
+// probeOne does it right: derive from the owner's base context.
+func (p *prober) probeOne(timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(p.base, timeout)
+	defer cancel()
+	_ = ctx
+}
+
+// forward receives a context and drops it on the floor — the stricter
+// message fires because the caller's context was right there.
+func forward(ctx context.Context) {
+	use(context.TODO()) // want `\[context-propagation\] context.TODO\(\) inside a function that already receives a context`
+	use(ctx)
+}
+
+func use(ctx context.Context) { _ = ctx }

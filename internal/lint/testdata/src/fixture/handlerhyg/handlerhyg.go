@@ -1,0 +1,64 @@
+// Package handlerhyg exercises the handler-hygiene analyzer: one
+// status write per path, nothing after a failure status, and failure
+// statuses carry an error body.
+package handlerhyg
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// doubleHeader writes the status twice on the same path.
+func doubleHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusOK) // want `\[handler-hygiene\] WriteHeader writes a second response status on this path`
+}
+
+// writesAfterFailure keeps going after http.Error.
+func writesAfterFailure(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "bad request", http.StatusBadRequest)
+	w.Write([]byte("trailing body")) // want `\[handler-hygiene\] handler keeps writing after http.Error set a failure status`
+}
+
+// rawFailure writes a bare failure status with no error body at all.
+func rawFailure(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusInternalServerError) // want `\[handler-hygiene\] raw WriteHeader\(500\) without an error body`
+}
+
+// fail is a failure helper: it transitively writes a failure status.
+func fail(w http.ResponseWriter, msg string) {
+	http.Error(w, msg, http.StatusBadRequest)
+}
+
+// viaHelper keeps writing after the failure helper.
+func viaHelper(w http.ResponseWriter, r *http.Request) {
+	fail(w, "nope")
+	w.Write([]byte("trailing body")) // want `\[handler-hygiene\] handler keeps writing after fail set a failure status`
+}
+
+// clean shows the sanctioned shapes: fail-and-return on the error
+// path, one status write on the success path.
+func clean(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/bad" {
+		fail(w, "bad path")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok"))
+}
+
+// jsonDoc is the /healthz convention: a raw failure status is fine
+// when the function encodes a JSON error document as the body.
+func jsonDoc(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(map[string]string{"status": "degraded"})
+}
+
+// closureHandler pins that handlers built as closures are checked too.
+func closureHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+		w.WriteHeader(http.StatusNoContent) // want `\[handler-hygiene\] WriteHeader writes a second response status on this path`
+	}
+}

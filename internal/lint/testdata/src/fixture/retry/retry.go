@@ -1,0 +1,65 @@
+// Package retry exercises the bounded-retry analyzer: condition-less
+// loops must not initiate network I/O unless each iteration is gated
+// by a select.
+package retry
+
+import (
+	"net"
+	"net/http"
+)
+
+// forever hammers a peer with no bound at all.
+func forever(c *http.Client) {
+	for { // want `\[bounded-retry\] unbounded for loop initiates network I/O`
+		c.Get("http://peer/bytes")
+	}
+}
+
+// viaHelper hides the request in a same-package helper — still found.
+func viaHelper(c *http.Client) {
+	for { // want `\[bounded-retry\] unbounded for loop initiates network I/O`
+		fetch(c)
+	}
+}
+
+func fetch(c *http.Client) {
+	c.Get("http://peer/bytes")
+}
+
+// redial loops on Dial with no budget.
+func redial() {
+	for { // want `\[bounded-retry\] unbounded for loop initiates network I/O`
+		net.Dial("tcp", "peer:9")
+	}
+}
+
+// budgeted is the sanctioned retry shape: the loop condition is the
+// retry budget / candidate walk.
+func budgeted(c *http.Client, attempts int) {
+	for i := 0; i < attempts; i++ {
+		c.Get("http://peer/bytes")
+	}
+}
+
+// probeLoop is the sanctioned long-lived shape: every iteration gates
+// on a select over the stop channel.
+func probeLoop(c *http.Client, stop, tick chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick:
+			c.Get("http://peer/bytes")
+		}
+	}
+}
+
+// relayLoop reads from an open stream — not a network initiator, so a
+// condition-less copy loop is fine.
+func relayLoop(conn net.Conn, buf []byte) {
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package ringimm
+
+// rebalance mutates a Ring in place outside the constructor file —
+// every write here is a finding.
+func rebalance(r *Ring) {
+	r.window = 128      // want `\[ring-immutability\] Ring is immutable after construction`
+	r.window++          // want `\[ring-immutability\] Ring is immutable after construction`
+	r.nodes[0] = Node{} // want `\[ring-immutability\] Ring is immutable after construction`
+	r.points["x"] = 1   // want `\[ring-immutability\] Ring is immutable after construction`
+}
+
+// aliasWrite mutates the backing array through a local alias of a Ring
+// field — still a write to the Ring's backing store.
+func aliasWrite(r *Ring) {
+	pts := r.nodes
+	pts[1] = Node{Name: "y"} // want `\[ring-immutability\] Ring is immutable after construction — this writes its backing store through local alias "pts"`
+}
+
+// replace builds a new Ring instead of editing one — the sanctioned
+// mutate-by-replace pattern, no findings.
+func replace(r *Ring) *Ring {
+	nodes := r.Nodes()
+	nodes = append(nodes, Node{Name: "z"})
+	return New(nodes)
+}

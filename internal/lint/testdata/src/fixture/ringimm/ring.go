@@ -1,0 +1,32 @@
+// Package ringimm exercises the ring-immutability analyzer: the Ring
+// type may only be written inside this file (its declaring/constructor
+// file); every other file must build a replacement instead.
+package ringimm
+
+type Node struct {
+	Name string
+}
+
+type Ring struct {
+	nodes  []Node
+	points map[string]int
+	window uint64
+}
+
+// New is the constructor: writes in the declaring file are legal.
+func New(nodes []Node) *Ring {
+	r := &Ring{points: map[string]int{}}
+	r.nodes = append(r.nodes, nodes...)
+	r.window = 64
+	for i, n := range nodes {
+		r.points[n.Name] = i
+	}
+	return r
+}
+
+// Nodes returns a defensive copy, the only sanctioned way out.
+func (r *Ring) Nodes() []Node {
+	out := make([]Node, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
