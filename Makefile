@@ -64,10 +64,15 @@ bench:
 # committed BENCH_cpu.json. A cell more than BENCH_FAIL_AT slower fails;
 # waive intentional baseline changes per-cell via the committed
 # .benchallow file (alg/lanes/workers patterns — see `benchcompare -h`).
+# BENCH_STRICT cells fail at the warn threshold and ignore .benchallow:
+# aes-ctr throughput is the paper's headline claim, so any regression
+# there stops the build instead of warning.
 BENCH_FAIL_AT ?= 0.25
+BENCH_STRICT ?= aes-ctr/*/*
 bench-compare: bench
 	git show HEAD:BENCH_cpu.json | $(GO) run ./cmd/benchcompare \
 		-base - -new BENCH_cpu.json -fail-at $(BENCH_FAIL_AT) \
+		-strict '$(BENCH_STRICT)' \
 		-allow "$$(cat .benchallow 2>/dev/null || true)"
 
 # Served-path certification smoke cell (mirrors the CI verify step):

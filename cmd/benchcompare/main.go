@@ -19,6 +19,12 @@
 // any field; the single word "all" matches every cell). Use it in the
 // same commit that intentionally changes a baseline (e.g. an algorithm
 // rewrite) so the gate documents the waiver instead of being disabled.
+//
+// -strict takes the same pattern syntax and inverts the leniency: a
+// matching cell fails as soon as it slows past the -warn threshold (no
+// noise allowance up to -fail-at) and cannot be waived by -allow.
+// Reserve it for cells whose throughput is a headline claim — an
+// accidental regression there should stop CI, not print a warning.
 package main
 
 import (
@@ -132,6 +138,7 @@ func main() {
 	warnAt := flag.Float64("warn", 0.10, "warn when a cell slows down by more than this fraction")
 	failAt := flag.Float64("fail-at", 0, "exit 1 when a cell slows down by more than this fraction (0 = warn-only)")
 	allowSpec := flag.String("allow", "", "comma-separated alg/lanes/workers patterns exempt from -fail-at (\"all\" waives every cell)")
+	strictSpec := flag.String("strict", "", "comma-separated alg/lanes/workers patterns that fail at the -warn threshold and ignore -allow")
 	flag.Parse()
 	if *next == "" {
 		fmt.Fprintln(os.Stderr, "benchcompare: -new is required")
@@ -142,6 +149,11 @@ func main() {
 		os.Exit(2)
 	}
 	allow, err := parseAllow(*allowSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	strict, err := parseAllow(*strictSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcompare:", err)
 		os.Exit(2)
@@ -158,15 +170,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	if _, failed := diff(os.Stdout, b, n, *warnAt, *failAt, allow); failed > 0 {
+	if _, failed := diff(os.Stdout, b, n, *warnAt, *failAt, allow, strict); failed > 0 {
 		os.Exit(1)
 	}
 }
 
 // diff prints the cell-by-cell comparison and returns how many cells
-// regressed past the warn threshold and how many past the (non-waived)
-// fail threshold. failAt 0 disables gating.
-func diff(w io.Writer, b, n *benchReport, warnAt, failAt float64, allow []allowPattern) (warned, failed int) {
+// regressed past the warn threshold and how many failed the gate.
+// failAt 0 disables the general gate, but strict-listed cells still
+// fail at warnAt — and -allow never exempts them.
+func diff(w io.Writer, b, n *benchReport, warnAt, failAt float64, allow, strict []allowPattern) (warned, failed int) {
 	baseBy := make(map[key]cell, len(b.Results))
 	for _, c := range b.Results {
 		baseBy[key{c.Alg, c.Lanes, c.Workers}] = c
@@ -184,6 +197,9 @@ func diff(w io.Writer, b, n *benchReport, warnAt, failAt float64, allow []allowP
 		delta := c.BytesPerSec/old.BytesPerSec - 1
 		mark := ""
 		switch {
+		case delta < -warnAt && allowed(c, strict):
+			mark = "  FAIL: regression on strict-gated cell"
+			failed++
 		case failAt > 0 && delta < -failAt && !allowed(c, allow):
 			mark = "  FAIL: regression past gate"
 			failed++
@@ -201,8 +217,9 @@ func diff(w io.Writer, b, n *benchReport, warnAt, failAt float64, allow []allowP
 			"(warning; benchmark runners are noisy)\n", warned, 100*warnAt)
 	}
 	if failed > 0 {
-		fmt.Fprintf(w, "benchcompare: %d cell(s) slower than baseline by >%.0f%% — failing "+
-			"(waive intentional baseline changes with -allow alg/lanes/workers)\n", failed, 100*failAt)
+		fmt.Fprintf(w, "benchcompare: %d cell(s) failed the gate "+
+			"(waive intentional baseline changes with -allow alg/lanes/workers; "+
+			"strict-gated cells cannot be waived)\n", failed)
 	}
 	return warned, failed
 }

@@ -21,7 +21,7 @@ func TestDiffWarnsOnRegressionOnly(t *testing.T) {
 		cell{Alg: "trivium", Lanes: 64, Workers: 1, BytesPerSec: 50e6}, // no baseline cell
 	)
 	var out bytes.Buffer
-	warned, failed := diff(&out, base, next, 0.10, 0, nil)
+	warned, failed := diff(&out, base, next, 0.10, 0, nil, nil)
 	if warned != 1 || failed != 0 {
 		t.Fatalf("warned, failed = %d, %d, want 1, 0\n%s", warned, failed, out.String())
 	}
@@ -46,7 +46,7 @@ func TestDiffGatesOnFailThreshold(t *testing.T) {
 		cell{Alg: "chaotic(grain)", Lanes: 64, Workers: 1, BytesPerSec: 90e6}, // -40%: past gate
 	)
 	var out bytes.Buffer
-	warned, failed := diff(&out, base, next, 0.10, 0.25, nil)
+	warned, failed := diff(&out, base, next, 0.10, 0.25, nil, nil)
 	if failed != 2 || warned != 1 {
 		t.Fatalf("warned, failed = %d, %d, want 1, 2\n%s", warned, failed, out.String())
 	}
@@ -60,7 +60,7 @@ func TestDiffGatesOnFailThreshold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, failed := diff(&out, base, next, 0.10, 0.25, allow); failed != 0 {
+	if _, failed := diff(&out, base, next, 0.10, 0.25, allow, nil); failed != 0 {
 		t.Fatalf("failed = %d with waivers, want 0\n%s", failed, out.String())
 	}
 	if !strings.Contains(out.String(), "allowed: regression waived") {
@@ -69,8 +69,49 @@ func TestDiffGatesOnFailThreshold(t *testing.T) {
 
 	// "all" waives everything.
 	allow, _ = parseAllow("all")
-	if _, failed := diff(&out, base, next, 0.10, 0.25, allow); failed != 0 {
+	if _, failed := diff(&out, base, next, 0.10, 0.25, allow, nil); failed != 0 {
 		t.Fatalf("failed = %d with allow=all, want 0", failed)
+	}
+}
+
+// Strict-gated cells must fail at the warn threshold even when the
+// general gate is off, and -allow must not waive them.
+func TestDiffStrictGate(t *testing.T) {
+	base := rep(
+		cell{Alg: "aes-ctr", Lanes: 64, Workers: 1, BytesPerSec: 100e6},
+		cell{Alg: "mickey", Lanes: 64, Workers: 1, BytesPerSec: 100e6},
+	)
+	next := rep(
+		cell{Alg: "aes-ctr", Lanes: 64, Workers: 1, BytesPerSec: 85e6}, // -15%: inside fail-at, past warn
+		cell{Alg: "mickey", Lanes: 64, Workers: 1, BytesPerSec: 85e6},  // same delta, not strict
+	)
+	strict, err := parseAllow("aes-ctr/*/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With no general gate at all, the strict cell still fails.
+	var out bytes.Buffer
+	warned, failed := diff(&out, base, next, 0.10, 0, nil, strict)
+	if failed != 1 || warned != 1 {
+		t.Fatalf("warned, failed = %d, %d, want 1, 1\n%s", warned, failed, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL: regression on strict-gated cell") {
+		t.Fatalf("missing strict fail marker:\n%s", out.String())
+	}
+
+	// -allow all does not exempt the strict cell.
+	out.Reset()
+	allow, _ := parseAllow("all")
+	if _, failed := diff(&out, base, next, 0.10, 0.25, allow, strict); failed != 1 {
+		t.Fatalf("failed = %d with allow=all, want 1 (strict ignores -allow)\n%s", failed, out.String())
+	}
+
+	// A strict cell inside the warn band passes.
+	next.Results[0].BytesPerSec = 95e6 // -5%: within noise
+	out.Reset()
+	if _, failed := diff(&out, base, next, 0.10, 0.25, nil, strict); failed != 0 {
+		t.Fatalf("failed = %d for strict cell within warn band, want 0\n%s", failed, out.String())
 	}
 }
 

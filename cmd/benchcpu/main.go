@@ -84,10 +84,7 @@ func measure(minTime time.Duration, log io.Writer) (*report, error) {
 		NumCPU:     runtime.NumCPU(),
 		MinSeconds: minTime.Seconds(),
 	}
-	workerSet := []int{1}
-	if n := runtime.NumCPU(); n > 1 {
-		workerSet = append(workerSet, n)
-	}
+	workerSet := workerSweep(runtime.NumCPU())
 	for _, alg := range core.ServedAlgorithms {
 		for _, lanes := range core.SupportedLanes {
 			for _, workers := range workerSet {
@@ -102,6 +99,21 @@ func measure(minTime time.Duration, log io.Writer) (*report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// workerSweep returns the worker counts to measure on a machine with
+// numCPU logical CPUs: every power of two up to numCPU, plus numCPU
+// itself, so the scaling curve in BENCH_cpu.json has enough points to
+// show where throughput stops growing.
+func workerSweep(numCPU int) []int {
+	set := []int{1}
+	for w := 2; w < numCPU; w *= 2 {
+		set = append(set, w)
+	}
+	if numCPU > 1 {
+		set = append(set, numCPU)
+	}
+	return set
 }
 
 // errWindowDone stops Stream.WriteTo once a cell's measurement window

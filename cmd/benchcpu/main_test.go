@@ -19,11 +19,7 @@ func TestMeasureGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantWorkers := 1
-	if rep.NumCPU > 1 {
-		wantWorkers = 2
-	}
-	wantCells := len(core.ServedAlgorithms) * len(core.SupportedLanes) * wantWorkers
+	wantCells := len(core.ServedAlgorithms) * len(core.SupportedLanes) * len(workerSweep(rep.NumCPU))
 	if len(rep.Results) != wantCells {
 		t.Fatalf("got %d cells, want %d", len(rep.Results), wantCells)
 	}
@@ -45,5 +41,35 @@ func TestMeasureGrid(t *testing.T) {
 	}
 	if rep.GoVersion == "" || rep.GOARCH == "" || rep.NumCPU < 1 {
 		t.Errorf("incomplete metadata: %+v", rep)
+	}
+}
+
+// The worker sweep must walk powers of two up to NumCPU and always end
+// at NumCPU itself, without duplicating the top point.
+func TestWorkerSweep(t *testing.T) {
+	cases := []struct {
+		numCPU int
+		want   []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{8, []int{1, 2, 4, 8}},
+		{12, []int{1, 2, 4, 8, 12}},
+		{16, []int{1, 2, 4, 8, 16}},
+	}
+	for _, tc := range cases {
+		got := workerSweep(tc.numCPU)
+		if len(got) != len(tc.want) {
+			t.Errorf("workerSweep(%d) = %v, want %v", tc.numCPU, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("workerSweep(%d) = %v, want %v", tc.numCPU, got, tc.want)
+				break
+			}
+		}
 	}
 }

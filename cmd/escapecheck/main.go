@@ -92,11 +92,11 @@ var hotFuncs = map[string][]string{
 	"internal/aes": {
 		// PackBlocksVec allocates by contract and only serves the
 		// reference/test path; Keystream's steady state goes through
-		// nextBlockPlanes → bitslice.PackWordsVec (array by value).
-		"Keystream", "NextBatch", "nextBlockPlanes", "EncryptBlocks",
-		"addRoundKeyP", "subBytesP", "shiftRowsP", "mixColumnsP",
-		"gfMulP", "gfSquareP", "gfInvP", "sboxP", "xtimeP",
-		"Reseed", "loadNonces",
+		// nextBlockPlanes → the fused Boyar–Peralta round kernels and
+		// the in-plane counter increment, none of which may allocate.
+		"Keystream", "NextBatch", "nextBlockPlanes", "incCounterPlanes",
+		"EncryptBlocks", "subShiftP", "subShiftXorP", "mixColumnsARKP",
+		"addRoundKeyFromP", "bpSbox", "Reseed", "loadNonces",
 	},
 	"internal/xorgens": {
 		"Keystream", "KeystreamBlockVec", "clockPlanes", "NextWord", "step", "mix64", "Reseed",

@@ -99,90 +99,6 @@ func TestGFInverse(t *testing.T) {
 	}
 }
 
-// Plane-form field ops must agree with scalar GF math on random lane data.
-func TestGfMulPlanes(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
-	a := make([]byte, 64)
-	b := make([]byte, 64)
-	rng.Read(a)
-	rng.Read(b)
-	ap := packBytesPlanes(a)
-	bp := packBytesPlanes(b)
-	var dp [8]bitslice.V64
-	gfMulP(dp[:], ap[:], bp[:])
-	for l := 0; l < 64; l++ {
-		if got := unpackBytePlane(&dp, l); got != mulGF(a[l], b[l]) {
-			t.Fatalf("lane %d: %#x want %#x", l, got, mulGF(a[l], b[l]))
-		}
-	}
-}
-
-func TestGfSquarePlanes(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
-	a := make([]byte, 64)
-	rng.Read(a)
-	ap := packBytesPlanes(a)
-	var dp [8]bitslice.V64
-	gfSquareP(dp[:], ap[:])
-	for l := 0; l < 64; l++ {
-		if got := unpackBytePlane(&dp, l); got != mulGF(a[l], a[l]) {
-			t.Fatalf("lane %d square wrong", l)
-		}
-	}
-}
-
-func TestSboxPlanes(t *testing.T) {
-	// All 256 inputs across four batches of 64 lanes.
-	for base := 0; base < 256; base += 64 {
-		a := make([]byte, 64)
-		for i := range a {
-			a[i] = byte(base + i)
-		}
-		ap := packBytesPlanes(a)
-		sboxP(ap[:])
-		for l := 0; l < 64; l++ {
-			if got := unpackBytePlane(&ap, l); got != sbox[a[l]] {
-				t.Fatalf("sboxP(%#x) = %#x, want %#x", a[l], got, sbox[a[l]])
-			}
-		}
-	}
-}
-
-func TestXtimePlanes(t *testing.T) {
-	a := make([]byte, 64)
-	for i := range a {
-		a[i] = byte(i * 7)
-	}
-	ap := packBytesPlanes(a)
-	var dp [8]bitslice.V64
-	xtimeP(dp[:], ap[:])
-	for l := 0; l < 64; l++ {
-		if got := unpackBytePlane(&dp, l); got != mulGF(a[l], 2) {
-			t.Fatalf("xtimeP(%#x) wrong", a[l])
-		}
-	}
-}
-
-func packBytesPlanes(vals []byte) [8]bitslice.V64 {
-	var p [8]bitslice.V64
-	for l, v := range vals {
-		for k := 0; k < 8; k++ {
-			if v&(1<<uint(k)) != 0 {
-				p[k][0] |= 1 << uint(l)
-			}
-		}
-	}
-	return p
-}
-
-func unpackBytePlane(p *[8]bitslice.V64, lane int) byte {
-	var v byte
-	for k := 0; k < 8; k++ {
-		v |= byte((p[k][0]>>uint(lane))&1) << uint(k)
-	}
-	return v
-}
-
 // The bitsliced cipher must agree with 64 scalar encryptions under 64
 // distinct keys.
 func TestSlicedMatchesScalar(t *testing.T) {

@@ -49,9 +49,6 @@ func affine(b byte) byte {
 
 var (
 	sbox [256]byte
-	// sqMat[i] is x^(2i) mod the AES polynomial: the GF(2^8) squaring map
-	// as an 8x8 bit matrix, used by the bitsliced inversion circuit.
-	sqMat [8]byte
 	// rcon holds the key-schedule round constants.
 	rcon [15]byte
 )
@@ -59,11 +56,6 @@ var (
 func init() {
 	for i := 0; i < 256; i++ {
 		sbox[i] = affine(invGF(byte(i)))
-	}
-	for i := 0; i < 8; i++ {
-		// x^(2i): square the basis element x^i.
-		e := byte(1) << uint(i)
-		sqMat[i] = mulGF(e, e)
 	}
 	c := byte(1)
 	for i := range rcon {

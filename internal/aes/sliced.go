@@ -3,7 +3,6 @@ package aes
 import (
 	"encoding/binary"
 	"fmt"
-	"math/bits"
 
 	"repro/internal/bitslice"
 )
@@ -17,6 +16,15 @@ import (
 type SlicedVec[V bitslice.Vec] struct {
 	rk    [][128]V // 11 plane-form round keys
 	lanes int
+
+	// sb is the double-buffer for the fused SubBytes+ShiftRows pass:
+	// each round writes S-box output planes into sb at their
+	// post-ShiftRows positions, then MixColumns+AddRoundKey writes back
+	// into the caller's state. Owning it here keeps EncryptBlocks
+	// allocation-free; it also means one engine must not encrypt from
+	// two goroutines at once (already the contract of every bitsliced
+	// engine in this repository).
+	sb [128]V
 
 	// Per-round per-lane round-key words, reused across Reseed calls so
 	// the segment-rekey hot path never allocates.
@@ -84,67 +92,23 @@ func (s *SlicedVec[V]) Reseed(keys [][]byte) error {
 // Lanes returns the number of active lanes.
 func (s *SlicedVec[V]) Lanes() int { return s.lanes }
 
-// EncryptBlocks encrypts the lane blocks held in plane form in st.
+// EncryptBlocks encrypts the lane blocks held in plane form in st. The
+// round loop is two fused passes per round — SubBytes+ShiftRows (S-box
+// planes written at their post-rotation byte positions, so ShiftRows is
+// pure index renaming) ping-ponging into the engine's scratch, then
+// MixColumns+AddRoundKey back into st — with the round-0 whitening
+// folded into the first S-box load and the final AddRoundKey fused with
+// the copy-back. No pass over the 128 planes ever runs alone.
 func (s *SlicedVec[V]) EncryptBlocks(st *[128]V) {
-	addRoundKeyP(st, &s.rk[0])
-	for r := 1; r < 10; r++ {
-		subBytesP(st)
-		shiftRowsP(st)
-		mixColumnsP(st)
-		addRoundKeyP(st, &s.rk[r])
+	sb := &s.sb
+	subShiftXorP(sb, st, &s.rk[0])
+	mixColumnsARKP(st, sb, &s.rk[1])
+	for r := 2; r < 10; r++ {
+		subShiftP(sb, st)
+		mixColumnsARKP(st, sb, &s.rk[r])
 	}
-	subBytesP(st)
-	shiftRowsP(st)
-	addRoundKeyP(st, &s.rk[10])
-}
-
-func addRoundKeyP[V bitslice.Vec](st, rk *[128]V) {
-	for i := range st {
-		for k := 0; k < len(st[i]); k++ {
-			st[i][k] ^= rk[i][k]
-		}
-	}
-}
-
-func subBytesP[V bitslice.Vec](st *[128]V) {
-	for b := 0; b < 16; b++ {
-		sboxP(st[8*b : 8*b+8])
-	}
-}
-
-// shiftRowsP permutes whole byte groups: the byte at state index r+4c
-// moves in from index r+4((c+r) mod 4).
-func shiftRowsP[V bitslice.Vec](st *[128]V) {
-	var tmp [128]V
-	for r := 0; r < 4; r++ {
-		for c := 0; c < 4; c++ {
-			dst := r + 4*c
-			src := r + 4*((c+r)%4)
-			copy(tmp[8*dst:8*dst+8], st[8*src:8*src+8])
-		}
-	}
-	*st = tmp
-}
-
-func mixColumnsP[V bitslice.Vec](st *[128]V) {
-	var a [4][8]V
-	var xa [4][8]V
-	for c := 0; c < 4; c++ {
-		for r := 0; r < 4; r++ {
-			copy(a[r][:], st[8*(4*c+r):8*(4*c+r)+8])
-			xtimeP(xa[r][:], a[r][:])
-		}
-		for r := 0; r < 4; r++ {
-			// out_r = {02}a_r ⊕ {03}a_{r+1} ⊕ a_{r+2} ⊕ a_{r+3}
-			o := st[8*(4*c+r) : 8*(4*c+r)+8]
-			r1, r2, r3 := (r+1)&3, (r+2)&3, (r+3)&3
-			for j := 0; j < 8; j++ {
-				for k := 0; k < len(o[j]); k++ {
-					o[j][k] = xa[r][j][k] ^ xa[r1][j][k] ^ a[r1][j][k] ^ a[r2][j][k] ^ a[r3][j][k]
-				}
-			}
-		}
-	}
+	subShiftP(sb, st)
+	addRoundKeyFromP(st, sb, &s.rk[10])
 }
 
 // PackBlocksVec converts per-lane 16-byte blocks into plane form.
@@ -194,13 +158,23 @@ func UnpackBlocks(st *[128]bitslice.V64, lanes int) [][16]byte {
 // SlicedCTRVec is the bitsliced AES-128-CTR generator of paper Fig. 3 over
 // the plane width V: every lane runs its own nonce‖counter stream under
 // its own key, and one batch encrypts one block per lane at once.
+//
+// The CTR input block lives permanently in plane form: noncePl holds the
+// (constant) nonce planes and ctrPl the live counter planes, so a batch
+// never transposes scalar words into planes — it copies the cached
+// planes into the state and advances the counter with a bitsliced
+// ripple-carry add (incCounterPlanes). Planes are re-derived from scalar
+// material only on Reseed.
 type SlicedCTRVec[V bitslice.Vec] struct {
-	aes    *SlicedVec[V]
-	nonces []uint64 // per-lane nonce, little-endian image of the 8 nonce bytes
-	ctrs   []uint64 // per-lane counter value (encoded big-endian in the block)
+	aes     *SlicedVec[V]
+	noncePl [64]V // planes of block bytes 0..7: the per-lane nonces
+	ctrPl   [64]V // planes of block bytes 8..15: the big-endian counters
+	st      [128]V
 
 	// Per-batch scratch words, owned by the generator so the per-block
-	// hot path (NextBatch/Keystream) never allocates.
+	// hot path (NextBatch/Keystream) never allocates. nonces doubles as
+	// the Reseed-time packing scratch.
+	nonces   []uint64
 	los, his []uint64
 }
 
@@ -226,7 +200,6 @@ func NewSlicedCTRVec[V bitslice.Vec](keys [][]byte, nonces [][]byte) (*SlicedCTR
 	g := &SlicedCTRVec[V]{
 		aes:    a,
 		nonces: make([]uint64, a.lanes),
-		ctrs:   make([]uint64, a.lanes),
 		los:    make([]uint64, a.lanes),
 		his:    make([]uint64, a.lanes),
 	}
@@ -236,6 +209,8 @@ func NewSlicedCTRVec[V bitslice.Vec](keys [][]byte, nonces [][]byte) (*SlicedCTR
 	return g, nil
 }
 
+// loadNonces validates the per-lane nonces and caches them as bit
+// planes: one word transpose here replaces one per batch.
 func (g *SlicedCTRVec[V]) loadNonces(nonces [][]byte) error {
 	if len(nonces) != g.aes.lanes {
 		return fmt.Errorf("aes: %d nonces for %d lanes", len(nonces), g.aes.lanes)
@@ -246,6 +221,7 @@ func (g *SlicedCTRVec[V]) loadNonces(nonces [][]byte) error {
 		}
 		g.nonces[l] = binary.LittleEndian.Uint64(n)
 	}
+	g.noncePl = bitslice.PackWordsVec[V](g.nonces)
 	return nil
 }
 
@@ -258,32 +234,55 @@ func (g *SlicedCTRVec[V]) Reseed(keys [][]byte, nonces [][]byte) error {
 	if err := g.loadNonces(nonces); err != nil {
 		return err
 	}
-	for l := range g.ctrs {
-		g.ctrs[l] = 0
-	}
+	clear(g.ctrPl[:])
 	return nil
 }
 
 // Lanes returns the number of active lanes.
 func (g *SlicedCTRVec[V]) Lanes() int { return g.aes.lanes }
 
+// ctrPlane maps counter bit p (0 = least significant) to its index in
+// ctrPl: block byte 8+i holds big-endian counter byte 7-i, and plane
+// 8i+j of the high half is bit j of block byte 8+i.
+func ctrPlane(p int) int { return 56 - 8*(p>>3) + (p & 7) }
+
+// incCounterPlanes adds one to every lane's counter directly in plane
+// form: a bitsliced ripple-carry add from the counter's least
+// significant plane upward, stopping as soon as no lane carries. The
+// core stream resets counters to zero each segment pass, so every
+// lane's counter is small and the live carry chain is a handful of
+// planes; a full 64-plane ripple happens only at the 2^64 wraparound,
+// where every counter returns to zero exactly like the scalar uint64
+// counter it mirrors.
+func (g *SlicedCTRVec[V]) incCounterPlanes() {
+	carry := bitslice.BroadcastVec[V](1)
+	for p := 0; p < 64; p++ {
+		idx := ctrPlane(p)
+		old := g.ctrPl[idx]
+		var live uint64
+		for k := 0; k < len(old); k++ {
+			g.ctrPl[idx][k] = old[k] ^ carry[k]
+			carry[k] &= old[k]
+			live |= carry[k]
+		}
+		if live == 0 {
+			return
+		}
+	}
+}
+
 // nextBlockPlanes encrypts one nonce‖counter block per lane, leaving the
-// lane output words in g.los/g.his, and advances every lane counter.
+// lane output words in g.los/g.his, and advances every lane counter. The
+// input block is assembled by plane copy alone — the nonce planes are
+// cached and the counter already lives in plane form — so the only
+// transposes per batch are the two output unpacks.
 func (g *SlicedCTRVec[V]) nextBlockPlanes() {
 	lanes := g.aes.lanes
-	for l := 0; l < lanes; l++ {
-		g.los[l] = g.nonces[l]
-		// Block bytes 8..15 hold the counter big-endian; the plane packing
-		// reads them little-endian, hence the byte reversal.
-		g.his[l] = bits.ReverseBytes64(g.ctrs[l])
-		g.ctrs[l]++
-	}
-	var st [128]V
-	lo := bitslice.PackWordsVec[V](g.los)
-	hi := bitslice.PackWordsVec[V](g.his)
-	copy(st[0:64], lo[:])
-	copy(st[64:128], hi[:])
-	g.aes.EncryptBlocks(&st)
+	st := &g.st
+	copy(st[0:64], g.noncePl[:])
+	copy(st[64:128], g.ctrPl[:])
+	g.incCounterPlanes()
+	g.aes.EncryptBlocks(st)
 	bitslice.UnpackWordsVecInto(g.los, st[0:64], lanes)
 	bitslice.UnpackWordsVecInto(g.his, st[64:128], lanes)
 }
